@@ -1,0 +1,101 @@
+// Experiment F1 — Figure 1: task agents. Enumerates the coarse task
+// descriptions (the RDA transaction and the "typical application" with its
+// internal loop) and benchmarks the agent interface: significant events go
+// through the scheduler, insignificant loop steps run at local speed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "agents/task_agent.h"
+#include "bench_util.h"
+
+namespace cdes {
+namespace {
+
+void PrintModel(const TaskModel& model) {
+  std::printf("task model '%s' (initial: %s, loop: %s)\n",
+              model.name().c_str(), model.initial().c_str(),
+              model.HasLoop() ? "yes" : "no");
+  for (const TaskTransition& t : model.transitions()) {
+    const char* control = t.control == TransitionControl::kControllable
+                              ? "controllable"
+                              : t.control == TransitionControl::kTriggerable
+                                    ? "triggerable"
+                                    : "uncontrollable";
+    std::printf("  %-8s --%-7s--> %-10s (%s)\n", t.from.c_str(),
+                t.event.c_str(), t.to.c_str(), control);
+  }
+}
+
+void PrintFigure1() {
+  std::printf("==== Figure 1: common task agents ====\n");
+  PrintModel(TaskModel::RdaTransaction("rda"));
+  std::printf("\n");
+  PrintModel(TaskModel::TypicalApplication("application"));
+  std::printf("\n");
+}
+
+void BM_AgentHappyPath(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    auto parsed = ParseWorkflow(&ctx, bench::kTravelSpec);
+    CDES_CHECK(parsed.ok());
+    Simulator sim;
+    NetworkOptions nopts;
+    Network net(&sim, 2, nopts);
+    GuardScheduler sched(&ctx, parsed.value(), &net);
+    TaskAgent buy(TaskModel::RdaTransaction("buy"), &ctx, &sched);
+    (void)buy.MapEvent("start", "s_buy");
+    (void)buy.MapEvent("commit", "c_buy");
+    TaskAgent book(TaskModel::RdaTransaction("book"), &ctx, &sched);
+    (void)book.MapEvent("start", "s_book");
+    (void)book.MapEvent("commit", "c_book");
+    state.ResumeTiming();
+    (void)buy.Attempt("start");
+    sim.Run();
+    (void)book.Attempt("commit");
+    sim.Run();
+    (void)buy.Attempt("commit");
+    sim.Run();
+    benchmark::DoNotOptimize(buy.state());
+  }
+  state.SetLabel("two RDA agents through the distributed scheduler");
+}
+BENCHMARK(BM_AgentHappyPath);
+
+void BM_InsignificantLoopSteps(benchmark::State& state) {
+  WorkflowContext ctx;
+  auto parsed = ParseWorkflow(&ctx, bench::kTravelSpec);
+  CDES_CHECK(parsed.ok());
+  Simulator sim;
+  NetworkOptions nopts;
+  Network net(&sim, 2, nopts);
+  GuardScheduler sched(&ctx, parsed.value(), &net);
+  TaskAgent app(TaskModel::TypicalApplication("app"), &ctx, &sched);
+  (void)app.Attempt("start");
+  for (auto _ : state) {
+    CDES_CHECK(app.Attempt("step").ok());
+  }
+  state.SetLabel("invisible loop step, no scheduler involvement (section 5.2)");
+}
+BENCHMARK(BM_InsignificantLoopSteps);
+
+void BM_ModelCycleDetection(benchmark::State& state) {
+  TaskModel app = TaskModel::TypicalApplication("app");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.HasLoop());
+  }
+}
+BENCHMARK(BM_ModelCycleDetection);
+
+}  // namespace
+}  // namespace cdes
+
+int main(int argc, char** argv) {
+  cdes::PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

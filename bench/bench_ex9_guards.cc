@@ -1,0 +1,189 @@
+// Experiment F4/E9 — Figure 4 and Example 9: guard synthesis. Regenerates
+// all eight guards of Example 9 next to the paper's reported forms, then
+// benchmarks Definition-2 synthesis across dependency families and sizes,
+// including the Lemma-5 path-sum formulation as a (much costlier)
+// cross-check and the Theorem-2/4 disjoint-split optimization.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algebra/generator.h"
+#include "common/strings.h"
+#include "guards/context.h"
+#include "guards/workflow.h"
+#include "temporal/simplify.h"
+
+namespace cdes {
+namespace {
+
+void PrintExample9() {
+  std::printf("==== Example 9: guards computed from Definition 2 ====\n");
+  WorkflowContext ctx;
+  SymbolId e = ctx.alphabet()->Intern("e");
+  SymbolId f = ctx.alphabet()->Intern("f");
+  EventLiteral pe = EventLiteral::Positive(e), ne = pe.Complemented();
+  EventLiteral pf = EventLiteral::Positive(f), nf = pf.Complemented();
+  const Expr* d_prec = KleinPrecedes(ctx.exprs(), e, f);
+
+  struct Item {
+    const char* label;
+    const Expr* dep;
+    EventLiteral lit;
+    const char* paper;
+  };
+  std::vector<Item> items = {
+      {"1. G(T, e)   ", ctx.exprs()->Top(), pe, "T"},
+      {"2. G(0, e)   ", ctx.exprs()->Zero(), pe, "0"},
+      {"3. G(e, e)   ", ctx.exprs()->Atom(pe), pe, "T"},
+      {"4. G(~e, e)  ", ctx.exprs()->Atom(ne), pe, "0"},
+      {"5. G(D<, ~e) ", d_prec, ne, "T"},
+      {"6. G(D<, e)  ", d_prec, pe, "!f"},
+      {"7. G(D<, ~f) ", d_prec, nf, "T"},
+      {"8. G(D<, f)  ", d_prec, pf, "<>(~e) + []e"},
+  };
+  std::printf("%-14s %-18s %s\n", "item", "paper", "computed");
+  for (const Item& item : items) {
+    const Guard* g = ctx.synthesizer()->SynthesizeSimplified(item.dep,
+                                                             item.lit);
+    std::printf("%-14s %-18s %s\n", item.label, item.paper,
+                GuardToString(g, *ctx.alphabet()).c_str());
+  }
+
+  std::printf("\nExample 11 (mutual implications): guard(e) under e->f is "
+              "%s; guard(f) under f->e is %s\n",
+              GuardToString(ctx.synthesizer()->SynthesizeSimplified(
+                                KleinImplies(ctx.exprs(), e, f), pe),
+                            *ctx.alphabet())
+                  .c_str(),
+              GuardToString(ctx.synthesizer()->SynthesizeSimplified(
+                                KleinImplies(ctx.exprs(), f, e), pf),
+                            *ctx.alphabet())
+                  .c_str());
+  std::printf("\n");
+}
+
+std::vector<SymbolId> MakeSymbols(WorkflowContext* ctx, size_t n) {
+  std::vector<SymbolId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ctx->alphabet()->Intern(StrCat("s", i)));
+  }
+  return out;
+}
+
+void BM_SynthesizeChain(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    std::vector<SymbolId> symbols = MakeSymbols(&ctx, n);
+    const Expr* d = Chain(ctx.exprs(), symbols);
+    EventLiteral target = EventLiteral::Positive(symbols[n / 2]);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ctx.synthesizer()->Synthesize(d, target));
+  }
+  state.SetLabel("cold cache, middle event of e1.e2...en");
+}
+BENCHMARK(BM_SynthesizeChain)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SynthesizeOrderedIfAll(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    std::vector<SymbolId> symbols = MakeSymbols(&ctx, n);
+    const Expr* d = OrderedIfAll(ctx.exprs(), symbols);
+    EventLiteral target = EventLiteral::Positive(symbols.back());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ctx.synthesizer()->Synthesize(d, target));
+  }
+}
+BENCHMARK(BM_SynthesizeOrderedIfAll)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_SynthesizeMemoized(benchmark::State& state) {
+  WorkflowContext ctx;
+  std::vector<SymbolId> symbols = MakeSymbols(&ctx, 6);
+  const Expr* d = OrderedIfAll(ctx.exprs(), symbols);
+  EventLiteral target = EventLiteral::Positive(symbols[3]);
+  ctx.synthesizer()->Synthesize(d, target);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.synthesizer()->Synthesize(d, target));
+  }
+  state.SetLabel("warm cache (precompiled lookups)");
+}
+BENCHMARK(BM_SynthesizeMemoized);
+
+void BM_SynthesizeViaPathsLemma5(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    std::vector<SymbolId> symbols = MakeSymbols(&ctx, n);
+    const Expr* d = OrderedIfAll(ctx.exprs(), symbols);
+    EventLiteral target = EventLiteral::Positive(symbols.back());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ctx.synthesizer()->SynthesizeViaPaths(d, target));
+  }
+  state.SetLabel("Lemma 5 path enumeration (reference)");
+}
+BENCHMARK(BM_SynthesizeViaPathsLemma5)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SynthesizeDisjointSplit(benchmark::State& state) {
+  // Theorem 2/4 ablation: k independent Klein dependencies joined by '+'.
+  // The component split makes this linear in k instead of exponential.
+  const size_t k = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    std::vector<const Expr*> parts;
+    for (size_t i = 0; i < k; ++i) {
+      SymbolId a = ctx.alphabet()->Intern(StrCat("a", i));
+      SymbolId b = ctx.alphabet()->Intern(StrCat("b", i));
+      parts.push_back(KleinPrecedes(ctx.exprs(), a, b));
+    }
+    const Expr* d = ctx.exprs()->Or(parts);
+    EventLiteral target =
+        EventLiteral::Positive(ctx.alphabet()->Find("a0"));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ctx.synthesizer()->Synthesize(d, target));
+  }
+}
+BENCHMARK(BM_SynthesizeDisjointSplit)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CompileTravelWorkflow(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    WorkflowSpec spec;
+    SymbolId s_buy = ctx.alphabet()->Intern("s_buy");
+    SymbolId c_buy = ctx.alphabet()->Intern("c_buy");
+    SymbolId s_book = ctx.alphabet()->Intern("s_book");
+    SymbolId c_book = ctx.alphabet()->Intern("c_book");
+    SymbolId s_cancel = ctx.alphabet()->Intern("s_cancel");
+    auto atom = [&](SymbolId s, bool c = false) {
+      return ctx.exprs()->Atom(EventLiteral(s, c));
+    };
+    spec.Add("d1", ctx.exprs()->Or(atom(s_buy, true), atom(s_book)));
+    spec.Add("d2", ctx.exprs()->Or(atom(c_buy, true),
+                                   ctx.exprs()->Seq(atom(c_book),
+                                                    atom(c_buy))));
+    const Expr* d3_parts[] = {atom(c_book, true), atom(c_buy),
+                              atom(s_cancel)};
+    spec.Add("d3", ctx.exprs()->Or(d3_parts));
+    state.ResumeTiming();
+    CompiledWorkflow cw = CompileWorkflow(&ctx, spec);
+    benchmark::DoNotOptimize(&cw);
+  }
+  state.SetLabel("full Example 4 workflow, simplified guards");
+}
+BENCHMARK(BM_CompileTravelWorkflow);
+
+}  // namespace
+}  // namespace cdes
+
+int main(int argc, char** argv) {
+  cdes::PrintExample9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

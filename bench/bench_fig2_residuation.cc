@@ -1,0 +1,137 @@
+// Experiment F2 — Figure 2: the symbolic scheduler state machines for
+// D_< = ē + f̄ + e·f and D_→ = ē + f, regenerated from the residuation
+// engine, plus microbenchmarks of residuation itself and the growth of the
+// reachable-residual machine with dependency size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "algebra/generator.h"
+#include "common/strings.h"
+#include "algebra/residuation.h"
+#include "guards/context.h"
+
+namespace cdes {
+namespace {
+
+void PrintMachine(WorkflowContext* ctx, const char* name, const Expr* dep) {
+  ResidualGraph graph = BuildResidualGraph(ctx->residuator(), dep);
+  std::printf("%s = %s: %zu states, %zu transitions\n", name,
+              ExprToString(dep, *ctx->alphabet()).c_str(),
+              graph.states.size(), graph.edges.size());
+  for (const auto& [key, to] : graph.edges) {
+    std::printf("  [%s] --%s--> [%s]\n",
+                ExprToString(graph.states[key.first],
+                             *ctx->alphabet()).c_str(),
+                ctx->alphabet()->LiteralName(key.second).c_str(),
+                ExprToString(graph.states[to], *ctx->alphabet()).c_str());
+  }
+}
+
+void PrintFigure2() {
+  std::printf("==== Figure 2: scheduler states and transitions ====\n");
+  WorkflowContext ctx;
+  SymbolId e = ctx.alphabet()->Intern("e");
+  SymbolId f = ctx.alphabet()->Intern("f");
+  PrintMachine(&ctx, "D<", KleinPrecedes(ctx.exprs(), e, f));
+  PrintMachine(&ctx, "D->", KleinImplies(ctx.exprs(), e, f));
+  std::printf("\n");
+}
+
+// --------------------------------------------------------- benchmarks
+
+void BM_ResiduateKleinPrecedes(benchmark::State& state) {
+  WorkflowContext ctx;
+  SymbolId e = ctx.alphabet()->Intern("e");
+  SymbolId f = ctx.alphabet()->Intern("f");
+  const Expr* d = KleinPrecedes(ctx.exprs(), e, f);
+  EventLiteral pe = EventLiteral::Positive(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.residuator()->Residuate(d, pe));
+  }
+  state.SetLabel("memoized symbolic step");
+}
+BENCHMARK(BM_ResiduateKleinPrecedes);
+
+void BM_ResiduateChainUncached(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;  // fresh context: no memoization benefit
+    std::vector<SymbolId> symbols;
+    for (size_t i = 0; i < n; ++i) {
+      symbols.push_back(ctx.alphabet()->Intern(StrCat("s", i)));
+    }
+    const Expr* d = Chain(ctx.exprs(), symbols);
+    state.ResumeTiming();
+    const Expr* cur = d;
+    for (SymbolId s : symbols) {
+      cur = ctx.residuator()->Residuate(cur, EventLiteral::Positive(s));
+    }
+    benchmark::DoNotOptimize(cur);
+  }
+  state.SetLabel("full chain consumed, cold caches");
+}
+BENCHMARK(BM_ResiduateChainUncached)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BuildResidualGraphOrderedIfAll(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    std::vector<SymbolId> symbols;
+    for (size_t i = 0; i < n; ++i) {
+      symbols.push_back(ctx.alphabet()->Intern(StrCat("s", i)));
+    }
+    const Expr* d = OrderedIfAll(ctx.exprs(), symbols);
+    state.ResumeTiming();
+    ResidualGraph graph = BuildResidualGraph(ctx.residuator(), d);
+    benchmark::DoNotOptimize(graph.states.size());
+    state.counters["states"] = static_cast<double>(graph.states.size());
+  }
+}
+BENCHMARK(BM_BuildResidualGraphOrderedIfAll)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_NormalForm(benchmark::State& state) {
+  Rng rng(42);
+  RandomExprOptions options;
+  options.symbol_count = 4;
+  options.max_depth = 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    const Expr* e = GenerateRandomExpr(ctx.exprs(), &rng, options);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ctx.residuator()->NormalForm(e));
+  }
+}
+BENCHMARK(BM_NormalForm);
+
+void BM_SatisfiabilityCheck(benchmark::State& state) {
+  Rng rng(7);
+  RandomExprOptions options;
+  options.symbol_count = 3;
+  options.max_depth = 3;
+  WorkflowContext ctx;
+  std::vector<const Expr*> exprs;
+  for (int i = 0; i < 64; ++i) {
+    exprs.push_back(GenerateRandomExpr(ctx.exprs(), &rng, options));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsSatisfiable(ctx.residuator(), exprs[i++ % exprs.size()]));
+  }
+}
+BENCHMARK(BM_SatisfiabilityCheck);
+
+}  // namespace
+}  // namespace cdes
+
+int main(int argc, char** argv) {
+  cdes::PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

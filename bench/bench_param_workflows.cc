@@ -1,0 +1,157 @@
+// Experiment E13/E14 — parametrized events (§5): instantiation throughput
+// for parametrized workflows (Example 12), and the dynamics of
+// universally-quantified guards (Examples 13, 14): how enabledness checks
+// and announcement assimilation scale with the number of live instances.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "params/param_guard.h"
+
+namespace cdes {
+namespace {
+
+void PrintParamSummary() {
+  std::printf("==== Parametrized workflows and guards (Section 5) ====\n");
+  // Example 14 walk-through, mechanically.
+  WorkflowContext ctx;
+  PGuard tmpl = PGuard::Or({
+      PGuard::Neg(PAtom{"f", false, {PTerm::Var("y")}}),
+      PGuard::Box(PAtom{"g", false, {PTerm::Var("y")}}),
+  });
+  auto tracker = ParamGuardInstance::Create(&ctx, tmpl);
+  CDES_CHECK(tracker.ok());
+  ParamGuardInstance t = std::move(tracker).value();
+  std::printf("guard on e[x]: !f[y] + []g[y] (y universally quantified)\n");
+  std::printf("  initially:            enabled=%d instances=%zu\n",
+              t.EnabledNow(), t.instance_count());
+  (void)t.OnAnnouncement("f", false, {42});
+  std::printf("  after f[42]:          enabled=%d instances=%zu "
+              "(guard grew to []g[42] | template)\n",
+              t.EnabledNow(), t.instance_count());
+  (void)t.OnAnnouncement("g", false, {42});
+  std::printf("  after g[42]:          enabled=%d instances=%zu "
+              "(guard resurrected)\n\n",
+              t.EnabledNow(), t.instance_count());
+
+  std::printf("instances  live-blocked   enabled-check-cost(see benchmarks)\n");
+  for (size_t n : {1, 10, 100, 1000}) {
+    WorkflowContext c2;
+    auto r = ParamGuardInstance::Create(
+        &c2, PGuard::Or({PGuard::Neg(PAtom{"f", false, {PTerm::Var("y")}}),
+                         PGuard::Box(PAtom{"g", false, {PTerm::Var("y")}})}));
+    CDES_CHECK(r.ok());
+    ParamGuardInstance tr = std::move(r).value();
+    for (size_t i = 0; i < n; ++i) {
+      (void)tr.OnAnnouncement("f", false, {(ParamValue)i});
+    }
+    std::printf("%-10zu %-14zu\n", n, tr.blocking_instance_count());
+  }
+  std::printf("\n");
+}
+
+void BM_InstantiateTravelTemplate(benchmark::State& state) {
+  const size_t instances = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    WorkflowTemplate travel = TravelTemplate();
+    ParsedWorkflow combined;
+    state.ResumeTiming();
+    for (size_t i = 0; i < instances; ++i) {
+      CDES_CHECK(travel.InstantiateInto(&ctx, {{"cid", (ParamValue)i}},
+                                        &combined)
+                     .ok());
+    }
+    benchmark::DoNotOptimize(combined.events.size());
+  }
+}
+BENCHMARK(BM_InstantiateTravelTemplate)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_CompileInstantiatedWorkflow(benchmark::State& state) {
+  const size_t instances = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    ParsedWorkflow combined = bench::MakeTravelInstances(&ctx, instances, 2);
+    state.ResumeTiming();
+    CompiledWorkflow cw = CompileWorkflow(&ctx, combined.spec);
+    benchmark::DoNotOptimize(&cw);
+  }
+  state.SetLabel("per-instance guards stay constant size");
+}
+BENCHMARK(BM_CompileInstantiatedWorkflow)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ParamGuardAnnouncement(benchmark::State& state) {
+  const size_t live = state.range(0);
+  WorkflowContext ctx;
+  auto r = ParamGuardInstance::Create(
+      &ctx, PGuard::Or({PGuard::Neg(PAtom{"f", false, {PTerm::Var("y")}}),
+                        PGuard::Box(PAtom{"g", false, {PTerm::Var("y")}})}));
+  CDES_CHECK(r.ok());
+  ParamGuardInstance tracker = std::move(r).value();
+  for (size_t i = 0; i < live; ++i) {
+    (void)tracker.OnAnnouncement("f", false, {(ParamValue)i});
+  }
+  ParamValue next = static_cast<ParamValue>(live);
+  for (auto _ : state) {
+    (void)tracker.OnAnnouncement("g", false, {next});
+    ++next;
+  }
+  state.SetLabel("assimilate one announcement with N live instances");
+}
+BENCHMARK(BM_ParamGuardAnnouncement)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_ParamGuardEnabledCheck(benchmark::State& state) {
+  const size_t live = state.range(0);
+  WorkflowContext ctx;
+  auto r = ParamGuardInstance::Create(
+      &ctx, PGuard::Or({PGuard::Neg(PAtom{"f", false, {PTerm::Var("y")}}),
+                        PGuard::Box(PAtom{"g", false, {PTerm::Var("y")}})}));
+  CDES_CHECK(r.ok());
+  ParamGuardInstance tracker = std::move(r).value();
+  for (size_t i = 0; i < live; ++i) {
+    (void)tracker.OnAnnouncement("f", false, {(ParamValue)i});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.EnabledNow());
+  }
+}
+BENCHMARK(BM_ParamGuardEnabledCheck)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MutexLoopIteration(benchmark::State& state) {
+  // One full enter/exit round trip of the looping mutual-exclusion pair.
+  WorkflowContext ctx;
+  auto mk = [&](const char* b, const char* e) {
+    auto r = ParamGuardInstance::Create(
+        &ctx, PGuard::Or({PGuard::Neg(PAtom{b, false, {PTerm::Var("y")}}),
+                          PGuard::Box(PAtom{e, false, {PTerm::Var("y")}})}));
+    CDES_CHECK(r.ok());
+    return std::move(r).value();
+  };
+  ParamGuardInstance guard1 = mk("b2", "e2");
+  ParamGuardInstance guard2 = mk("b1", "e1");
+  ParamValue token = 0;
+  for (auto _ : state) {
+    ++token;
+    CDES_CHECK(guard1.EnabledNow());
+    (void)guard2.OnAnnouncement("b1", false, {token});
+    CDES_CHECK(!guard2.EnabledNow());
+    (void)guard2.OnAnnouncement("e1", false, {token});
+    CDES_CHECK(guard2.EnabledNow());
+  }
+  state.SetLabel("enter+exit with guard growth and resurrection");
+}
+BENCHMARK(BM_MutexLoopIteration);
+
+}  // namespace
+}  // namespace cdes
+
+int main(int argc, char** argv) {
+  cdes::PrintParamSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

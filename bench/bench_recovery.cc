@@ -1,0 +1,112 @@
+// Durable-log and recovery costs (§5.1's operation-id logging [7]): append
+// throughput, serialization, and full scheduler recovery by replay, as a
+// function of log length.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "runtime/event_log.h"
+
+namespace cdes {
+namespace {
+
+// Builds a log by actually running `instances` travel workflows.
+EventLog BuildLog(size_t instances, std::string* serialized) {
+  WorkflowContext ctx;
+  ParsedWorkflow workflow = bench::MakeTravelInstances(&ctx, instances, 2);
+  Simulator sim;
+  NetworkOptions nopts;
+  Network net(&sim, 2, nopts);
+  EventLog log;
+  GuardSchedulerOptions options;
+  options.durable_log = &log;
+  GuardScheduler sched(&ctx, workflow, &net, options);
+  bench::DriveScript(&ctx, &sched, &sim, &net,
+                     bench::InterleavedTravelScript(instances));
+  if (serialized != nullptr) *serialized = log.Serialize(*ctx.alphabet());
+  return log;
+}
+
+void PrintRecoverySummary() {
+  std::printf("==== Durable log / recovery (operation-id logging, §5.1) "
+              "====\n");
+  std::printf("%-10s %-12s %-14s\n", "instances", "log records",
+              "serialized B");
+  for (size_t instances : {1, 8, 64}) {
+    std::string text;
+    EventLog log = BuildLog(instances, &text);
+    std::printf("%-10zu %-12zu %-14zu\n", instances, log.size(),
+                text.size());
+  }
+  std::printf("\n");
+}
+
+void BM_LogAppend(benchmark::State& state) {
+  EventLog log;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    log.Append({OccurrenceStamp{seq, seq}, EventLiteral::Positive(0)});
+    ++seq;
+  }
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_LogSerialize(benchmark::State& state) {
+  const size_t instances = state.range(0);
+  std::string unused;
+  EventLog log = BuildLog(instances, &unused);
+  Alphabet alphabet;
+  WorkflowContext ctx;
+  ParsedWorkflow workflow = bench::MakeTravelInstances(&ctx, instances, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Serialize(*ctx.alphabet()));
+  }
+  state.counters["records"] = static_cast<double>(log.size());
+}
+BENCHMARK(BM_LogSerialize)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_RecoverScheduler(benchmark::State& state) {
+  const size_t instances = state.range(0);
+  std::string unused;
+  EventLog log = BuildLog(instances, &unused);
+  for (auto _ : state) {
+    state.PauseTiming();
+    WorkflowContext ctx;
+    ParsedWorkflow workflow = bench::MakeTravelInstances(&ctx, instances, 2);
+    Simulator sim;
+    NetworkOptions nopts;
+    Network net(&sim, 2, nopts);
+    GuardScheduler sched(&ctx, workflow, &net);
+    state.ResumeTiming();
+    CDES_CHECK(sched.Recover(log).ok());
+    benchmark::DoNotOptimize(sched.history().size());
+  }
+  state.SetLabel("replay: decisions + announcements, no network traffic");
+}
+BENCHMARK(BM_RecoverScheduler)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_DeserializeLog(benchmark::State& state) {
+  const size_t instances = state.range(0);
+  std::string text;
+  BuildLog(instances, &text);
+  WorkflowContext ctx;
+  ParsedWorkflow workflow = bench::MakeTravelInstances(&ctx, instances, 2);
+  for (auto _ : state) {
+    auto parsed = EventLog::Deserialize(*ctx.alphabet(), text);
+    CDES_CHECK(parsed.ok());
+    benchmark::DoNotOptimize(parsed.value().size());
+  }
+}
+BENCHMARK(BM_DeserializeLog)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace cdes
+
+int main(int argc, char** argv) {
+  cdes::PrintRecoverySummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

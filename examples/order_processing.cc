@@ -1,0 +1,124 @@
+// A second domain scenario: order processing across three autonomous
+// services (payment, inventory, shipping). Shows multi-dependency
+// composition, workflow closure to a maximal trace, and the durable event
+// log with crash recovery.
+//
+// Coordination requirements:
+//   r1: shipping starts only after payment commits      (c_pay < s_ship)
+//   r2: shipping starts only after inventory reserves   (c_res < s_ship)
+//   r3: a reservation is released unless shipping starts
+//       (~c_res + s_ship + s_release)
+//   r4: payment starting implies a reservation attempt  (s_pay -> s_res)
+//
+// Build & run:  ./build/examples/order_processing
+
+#include <cstdio>
+
+#include "runtime/event_log.h"
+#include "sched/guard_scheduler.h"
+#include "spec/parser.h"
+
+namespace {
+
+constexpr char kOrderSpec[] = R"(
+workflow order {
+  agent payment   @ site(0);
+  agent inventory @ site(1);
+  agent shipping  @ site(2);
+
+  event s_pay     agent(payment);
+  event c_pay     agent(payment);
+  event s_res     agent(inventory) attrs(triggerable);
+  event c_res     agent(inventory);
+  event s_release agent(inventory) attrs(triggerable);
+  event s_ship    agent(shipping);
+
+  dep r1: c_pay < s_ship;
+  dep r2: c_res < s_ship;
+  dep r3: ~c_res + s_ship + s_release;
+  dep r4: s_pay -> s_res;
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace cdes;
+
+  EventLog log;
+  std::string snapshot;
+
+  std::printf("== Phase 1: order comes in; then the coordinator crashes ==\n");
+  {
+    WorkflowContext ctx;
+    auto parsed = ParseWorkflow(&ctx, kOrderSpec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    Simulator sim;
+    NetworkOptions nopts;
+    nopts.base_latency = 1500;
+    Network net(&sim, 3, nopts);
+    GuardSchedulerOptions options;
+    options.durable_log = &log;
+    GuardScheduler sched(&ctx, parsed.value(), &net, options);
+
+    auto attempt = [&](const char* name) {
+      auto lit = ctx.alphabet()->ParseLiteral(name);
+      sched.Attempt(lit.value(), [name](Decision d) {
+        std::printf("  %-10s -> %s\n", name, DecisionToString(d).c_str());
+      });
+      sim.Run();
+    };
+    attempt("s_pay");   // triggers s_res via r4
+    attempt("c_res");
+    attempt("c_pay");
+    std::printf("  history so far: %s\n",
+                TraceToString(sched.history(), *ctx.alphabet()).c_str());
+    snapshot = log.Serialize(*ctx.alphabet());
+    std::printf("  ... crash! (%zu occurrences on the durable log)\n\n",
+                log.size());
+  }
+
+  std::printf("== Phase 2: recover from the log and finish the order ==\n");
+  {
+    WorkflowContext ctx;
+    auto parsed = ParseWorkflow(&ctx, kOrderSpec);
+    Simulator sim;
+    NetworkOptions nopts;
+    nopts.base_latency = 1500;
+    Network net(&sim, 3, nopts);
+    GuardScheduler sched(&ctx, parsed.value(), &net);
+
+    auto recovered = EventLog::Deserialize(*ctx.alphabet(), snapshot);
+    if (!recovered.ok() || !sched.Recover(recovered.value()).ok()) {
+      std::fprintf(stderr, "recovery failed\n");
+      return 1;
+    }
+    std::printf("  recovered history: %s\n",
+                TraceToString(sched.history(), *ctx.alphabet()).c_str());
+
+    auto attempt = [&](const char* name) {
+      auto lit = ctx.alphabet()->ParseLiteral(name);
+      sched.Attempt(lit.value(), [name](Decision d) {
+        std::printf("  %-10s -> %s\n", name, DecisionToString(d).c_str());
+      });
+      sim.Run();
+    };
+    attempt("s_ship");  // guards □c_pay and □c_res already discharged
+
+    std::printf("  closing the workflow to a maximal trace...\n");
+    for (int i = 0; i < 5 && !sched.Undecided().empty(); ++i) {
+      sched.Close();
+      sim.Run();
+    }
+    std::printf("  final history: %s\n",
+                TraceToString(sched.history(), *ctx.alphabet()).c_str());
+    std::printf("  all dependencies satisfied: %s\n",
+                sched.HistoryConsistent(true) ? "yes" : "NO");
+    std::printf("  (no release was triggered: shipping started, so r3 is "
+                "satisfied by s_ship)\n");
+  }
+  return 0;
+}

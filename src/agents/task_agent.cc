@@ -1,0 +1,71 @@
+#include "agents/task_agent.h"
+
+#include "common/strings.h"
+
+namespace cdes {
+
+TaskAgent::TaskAgent(TaskModel model, WorkflowContext* ctx,
+                     Scheduler* scheduler)
+    : model_(std::move(model)), ctx_(ctx), scheduler_(scheduler),
+      state_(model_.initial()) {
+  scheduler_->AddOccurrenceListener(
+      [this](EventLiteral literal) { OnOccurrence(literal); });
+}
+
+Status TaskAgent::MapEvent(const std::string& model_event,
+                           const std::string& symbol_name) {
+  SymbolId symbol = ctx_->alphabet()->Find(symbol_name);
+  if (symbol == kInvalidSymbol) {
+    return Status::NotFound(
+        StrCat("workflow event '", symbol_name, "' is not declared"));
+  }
+  event_symbols_[model_event] = symbol;
+  symbol_events_[symbol] = model_event;
+  return Status::OK();
+}
+
+Status TaskAgent::Attempt(const std::string& model_event,
+                          AttemptCallback done) {
+  CDES_ASSIGN_OR_RETURN(std::string next, model_.Next(state_, model_event));
+  auto mapped = event_symbols_.find(model_event);
+  if (mapped == event_symbols_.end()) {
+    // Insignificant for coordination: the task proceeds autonomously.
+    state_ = std::move(next);
+    last_decision_[model_event] = Decision::kAccepted;
+    if (done) done(Decision::kAccepted);
+    return Status::OK();
+  }
+  EventLiteral literal = EventLiteral::Positive(mapped->second);
+  // State advances through OnOccurrence so that scheduler-triggered
+  // occurrences and agent-requested ones take the same path.
+  scheduler_->Attempt(
+      literal, [this, model_event, done = std::move(done)](Decision d) {
+        last_decision_[model_event] = d;
+        if (done) done(d);
+      });
+  return Status::OK();
+}
+
+Result<Decision> TaskAgent::LastDecision(const std::string& model_event) const {
+  auto it = last_decision_.find(model_event);
+  if (it == last_decision_.end()) {
+    return Status::NotFound(StrCat("no attempt recorded for ", model_event));
+  }
+  return it->second;
+}
+
+void TaskAgent::OnOccurrence(EventLiteral literal) {
+  if (literal.complemented()) return;
+  auto it = symbol_events_.find(literal.symbol());
+  if (it == symbol_events_.end()) return;
+  const std::string& model_event = it->second;
+  Result<std::string> next = model_.Next(state_, model_event);
+  if (!next.ok()) return;  // occurrence not valid from this state; ignore
+  state_ = std::move(next).value();
+  // A triggered occurrence may not have an agent-side attempt recorded.
+  if (!last_decision_.count(model_event)) {
+    last_decision_[model_event] = Decision::kAccepted;
+  }
+}
+
+}  // namespace cdes

@@ -1,0 +1,63 @@
+#ifndef CDES_AGENTS_TASK_AGENT_H_
+#define CDES_AGENTS_TASK_AGENT_H_
+
+#include <map>
+#include <string>
+
+#include "agents/task_model.h"
+#include "guards/context.h"
+#include "sched/scheduler.h"
+
+namespace cdes {
+
+/// The interface between a task and the scheduling system (§2): the agent
+/// holds the task's coarse state machine, submits its significant events to
+/// the scheduler, and advances its state when the scheduler reports (or
+/// proactively triggers) occurrences.
+///
+/// Model events are mapped to workflow event symbols via MapEvent (e.g. the
+/// RDA model's "commit" of agent "buy" → workflow event "c_buy"). Unmapped
+/// events are insignificant for coordination: they run locally without
+/// consulting the scheduler (the "invisible" loop steps of §5.2).
+class TaskAgent {
+ public:
+  /// Registers an occurrence listener with `scheduler`; the agent must
+  /// outlive it.
+  TaskAgent(TaskModel model, WorkflowContext* ctx, Scheduler* scheduler);
+
+  TaskAgent(const TaskAgent&) = delete;
+  TaskAgent& operator=(const TaskAgent&) = delete;
+
+  /// Declares that model event `model_event` is the workflow event named
+  /// `symbol_name` (which must already be interned by the spec/context).
+  Status MapEvent(const std::string& model_event,
+                  const std::string& symbol_name);
+
+  /// Attempts `model_event` from the current state: unmapped events
+  /// transition immediately; mapped events go through the scheduler, and
+  /// the state advances when the occurrence is reported back. Fails with
+  /// NotFound when the transition does not exist in the current state.
+  Status Attempt(const std::string& model_event, AttemptCallback done = {});
+
+  const std::string& state() const { return state_; }
+  const TaskModel& model() const { return model_; }
+
+  /// Decision recorded for the most recent resolution of `model_event`
+  /// (including trigger-driven occurrences), if any.
+  Result<Decision> LastDecision(const std::string& model_event) const;
+
+ private:
+  void OnOccurrence(EventLiteral literal);
+
+  TaskModel model_;
+  WorkflowContext* ctx_;
+  Scheduler* scheduler_;
+  std::string state_;
+  std::map<std::string, SymbolId> event_symbols_;  // model event → symbol
+  std::map<SymbolId, std::string> symbol_events_;  // symbol → model event
+  std::map<std::string, Decision> last_decision_;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_AGENTS_TASK_AGENT_H_

@@ -1,0 +1,114 @@
+#include "agents/task_model.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace cdes {
+
+void TaskModel::AddState(const std::string& state) {
+  if (std::find(states_.begin(), states_.end(), state) == states_.end()) {
+    states_.push_back(state);
+  }
+}
+
+void TaskModel::AddTransition(const std::string& from,
+                              const std::string& event, const std::string& to,
+                              TransitionControl control) {
+  AddState(from);
+  AddState(to);
+  transitions_.push_back(TaskTransition{from, event, to, control});
+}
+
+Result<std::string> TaskModel::Next(const std::string& from,
+                                    const std::string& event) const {
+  const TaskTransition* t = FindTransition(from, event);
+  if (t == nullptr) {
+    return Status::NotFound(
+        StrCat("task ", name_, ": no transition '", event, "' from state '",
+               from, "'"));
+  }
+  return t->to;
+}
+
+const TaskTransition* TaskModel::FindTransition(const std::string& from,
+                                                const std::string& event) const {
+  for (const TaskTransition& t : transitions_) {
+    if (t.from == from && t.event == event) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TaskModel::EventsFrom(const std::string& from) const {
+  std::vector<std::string> out;
+  for (const TaskTransition& t : transitions_) {
+    if (t.from == from) out.push_back(t.event);
+  }
+  return out;
+}
+
+bool TaskModel::HasLoop() const {
+  // DFS-based cycle detection over the state graph.
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const TaskTransition& t : transitions_) {
+    adjacency[t.from].push_back(t.to);
+  }
+  std::set<std::string> done, path;
+  struct Rec {
+    static bool Visit(const std::string& s,
+                      const std::map<std::string, std::vector<std::string>>& adj,
+                      std::set<std::string>* done, std::set<std::string>* path) {
+      if (path->count(s)) return true;
+      if (done->count(s)) return false;
+      path->insert(s);
+      auto it = adj.find(s);
+      if (it != adj.end()) {
+        for (const std::string& n : it->second) {
+          if (Visit(n, adj, done, path)) return true;
+        }
+      }
+      path->erase(s);
+      done->insert(s);
+      return false;
+    }
+  };
+  for (const std::string& s : states_) {
+    if (Rec::Visit(s, adjacency, &done, &path)) return true;
+  }
+  return false;
+}
+
+bool TaskModel::IsTerminal(const std::string& state) const {
+  for (const TaskTransition& t : transitions_) {
+    if (t.from == state) return false;
+  }
+  return true;
+}
+
+TaskModel TaskModel::RdaTransaction(const std::string& name) {
+  TaskModel model(name, "initial");
+  model.AddTransition("initial", "start", "active",
+                      TransitionControl::kTriggerable);
+  model.AddTransition("active", "commit", "committed",
+                      TransitionControl::kControllable);
+  model.AddTransition("active", "abort", "aborted",
+                      TransitionControl::kUncontrollable);
+  return model;
+}
+
+TaskModel TaskModel::TypicalApplication(const std::string& name) {
+  TaskModel model(name, "initial");
+  model.AddTransition("initial", "start", "working",
+                      TransitionControl::kControllable);
+  model.AddTransition("working", "step", "working",
+                      TransitionControl::kUncontrollable);
+  model.AddTransition("working", "finish", "done",
+                      TransitionControl::kControllable);
+  model.AddTransition("working", "fail", "failed",
+                      TransitionControl::kUncontrollable);
+  return model;
+}
+
+}  // namespace cdes

@@ -1,0 +1,89 @@
+#ifndef CDES_AGENTS_TASK_MODEL_H_
+#define CDES_AGENTS_TASK_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cdes {
+
+/// Whether the coordination system may veto or cause a transition (§2):
+///   controllable   — the agent requests permission (e.g. commit);
+///   uncontrollable — the agent merely informs the system (e.g. abort);
+///   triggerable    — the system may cause it on its own accord (e.g.
+///                    start of a compensation task).
+enum class TransitionControl { kControllable, kUncontrollable, kTriggerable };
+
+struct TaskTransition {
+  std::string from;
+  std::string event;
+  std::string to;
+  TransitionControl control = TransitionControl::kControllable;
+};
+
+/// A coarse task description: only the states and transitions significant
+/// for coordination (Figure 1). The agent "embodies" this description; the
+/// task's invisible internal states are deliberately absent (autonomy is
+/// preserved).
+class TaskModel {
+ public:
+  TaskModel(std::string name, std::string initial_state)
+      : name_(std::move(name)), initial_(std::move(initial_state)) {
+    states_.push_back(initial_);
+  }
+
+  /// Adds a state (idempotent).
+  void AddState(const std::string& state);
+
+  /// Adds a transition; both states are added implicitly.
+  void AddTransition(const std::string& from, const std::string& event,
+                     const std::string& to,
+                     TransitionControl control = TransitionControl::kControllable);
+
+  const std::string& name() const { return name_; }
+  const std::string& initial() const { return initial_; }
+  const std::vector<std::string>& states() const { return states_; }
+  const std::vector<TaskTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// The target state of `event` from `from`, or NotFound.
+  Result<std::string> Next(const std::string& from,
+                           const std::string& event) const;
+
+  /// The transition record, or nullptr.
+  const TaskTransition* FindTransition(const std::string& from,
+                                       const std::string& event) const;
+
+  /// Events available from `from`.
+  std::vector<std::string> EventsFrom(const std::string& from) const;
+
+  /// True if the transition graph contains a cycle — the "arbitrary task"
+  /// structure of §5.2 that defeats loop-free approaches like Klein's.
+  bool HasLoop() const;
+
+  /// True if no transitions leave `state`.
+  bool IsTerminal(const std::string& state) const;
+
+  /// The RDA transaction of Figure 1: initial -start-> active, with
+  /// active -commit-> committed (controllable) and active -abort-> aborted
+  /// (uncontrollable). start is triggerable.
+  static TaskModel RdaTransaction(const std::string& name);
+
+  /// The "typical application" of Figure 1: an interactive task with an
+  /// internal work loop — initial -start-> working, working -step->
+  /// working (uncontrollable, insignificant for coordination),
+  /// working -finish-> done, working -fail-> failed (uncontrollable).
+  static TaskModel TypicalApplication(const std::string& name);
+
+ private:
+  std::string name_;
+  std::string initial_;
+  std::vector<std::string> states_;
+  std::vector<TaskTransition> transitions_;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_AGENTS_TASK_MODEL_H_

@@ -1,0 +1,196 @@
+#include "algebra/expr.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cdes {
+namespace {
+
+// Precedence for printing: Or < And < Seq < leaf.
+int Precedence(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kOr:
+      return 1;
+    case ExprKind::kAnd:
+      return 2;
+    case ExprKind::kSeq:
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+void PrintExpr(const Expr* e, const Alphabet& alphabet, int parent_prec,
+               std::string* out) {
+  int prec = Precedence(e->kind());
+  const char* sep = nullptr;
+  switch (e->kind()) {
+    case ExprKind::kZero:
+      *out += "0";
+      return;
+    case ExprKind::kTop:
+      *out += "T";
+      return;
+    case ExprKind::kAtom:
+      *out += alphabet.LiteralName(e->literal());
+      return;
+    case ExprKind::kSeq:
+      sep = " . ";
+      break;
+    case ExprKind::kOr:
+      sep = " + ";
+      break;
+    case ExprKind::kAnd:
+      sep = " | ";
+      break;
+  }
+  bool parens = prec < parent_prec;
+  if (parens) *out += "(";
+  bool first = true;
+  for (const Expr* child : e->children()) {
+    if (!first) *out += sep;
+    first = false;
+    PrintExpr(child, alphabet, prec + 1, out);
+  }
+  if (parens) *out += ")";
+}
+
+void CollectSymbols(const Expr* e, std::set<SymbolId>* out) {
+  if (e->kind() == ExprKind::kAtom) {
+    out->insert(e->literal().symbol());
+    return;
+  }
+  for (const Expr* child : e->children()) CollectSymbols(child, out);
+}
+
+}  // namespace
+
+size_t ExprArena::NodeKeyHash::operator()(const NodeKey& k) const {
+  size_t h = static_cast<size_t>(k.kind) * 0x9E3779B97F4A7C15ULL;
+  h ^= std::hash<uint32_t>()(k.literal_index) + 0x9E3779B9u + (h << 6);
+  for (const Expr* c : k.children) {
+    h ^= std::hash<uint64_t>()(c->id()) + 0x9E3779B9u + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+ExprArena::ExprArena() {
+  zero_ = Intern(ExprKind::kZero, EventLiteral(), {});
+  top_ = Intern(ExprKind::kTop, EventLiteral(), {});
+}
+
+const Expr* ExprArena::Intern(ExprKind kind, EventLiteral literal,
+                              std::vector<const Expr*> children) {
+  NodeKey key{kind, literal.valid() ? literal.index() : 0xFFFFFFFFu,
+              children};
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+  auto node = std::unique_ptr<Expr>(
+      new Expr(kind, literal, std::move(children), nodes_.size()));
+  const Expr* ptr = node.get();
+  nodes_.push_back(std::move(node));
+  interned_.emplace(std::move(key), ptr);
+  return ptr;
+}
+
+const Expr* ExprArena::Atom(EventLiteral literal) {
+  CDES_CHECK(literal.valid());
+  return Intern(ExprKind::kAtom, literal, {});
+}
+
+const Expr* ExprArena::Seq(std::span<const Expr* const> children) {
+  std::vector<const Expr*> flat;
+  for (const Expr* c : children) {
+    if (c->IsZero()) return zero_;
+    if (c->IsTop()) continue;  // ⊤ is the identity of · over U_E.
+    if (c->kind() == ExprKind::kSeq) {
+      flat.insert(flat.end(), c->children().begin(), c->children().end());
+    } else {
+      flat.push_back(c);
+    }
+  }
+  // A sequence that requires one symbol twice (in either polarity) denotes
+  // no traces: Definition 1 admits each symbol at most once per trace.
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (!flat[i]->IsAtom()) continue;
+    for (size_t j = i + 1; j < flat.size(); ++j) {
+      if (flat[j]->IsAtom() &&
+          flat[j]->literal().symbol() == flat[i]->literal().symbol()) {
+        return zero_;
+      }
+    }
+  }
+  if (flat.empty()) return top_;
+  if (flat.size() == 1) return flat[0];
+  return Intern(ExprKind::kSeq, EventLiteral(), std::move(flat));
+}
+
+const Expr* ExprArena::Or(std::span<const Expr* const> children) {
+  std::vector<const Expr*> flat;
+  for (const Expr* c : children) {
+    if (c->IsTop()) return top_;
+    if (c->IsZero()) continue;
+    if (c->kind() == ExprKind::kOr) {
+      flat.insert(flat.end(), c->children().begin(), c->children().end());
+    } else {
+      flat.push_back(c);
+    }
+  }
+  std::sort(flat.begin(), flat.end(),
+            [](const Expr* a, const Expr* b) { return a->id() < b->id(); });
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  if (flat.empty()) return zero_;
+  if (flat.size() == 1) return flat[0];
+  return Intern(ExprKind::kOr, EventLiteral(), std::move(flat));
+}
+
+const Expr* ExprArena::And(std::span<const Expr* const> children) {
+  std::vector<const Expr*> flat;
+  for (const Expr* c : children) {
+    if (c->IsZero()) return zero_;
+    if (c->IsTop()) continue;
+    if (c->kind() == ExprKind::kAnd) {
+      flat.insert(flat.end(), c->children().begin(), c->children().end());
+    } else {
+      flat.push_back(c);
+    }
+  }
+  std::sort(flat.begin(), flat.end(),
+            [](const Expr* a, const Expr* b) { return a->id() < b->id(); });
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  if (flat.empty()) return top_;
+  if (flat.size() == 1) return flat[0];
+  return Intern(ExprKind::kAnd, EventLiteral(), std::move(flat));
+}
+
+std::set<SymbolId> MentionedSymbols(const Expr* e) {
+  std::set<SymbolId> out;
+  CollectSymbols(e, &out);
+  return out;
+}
+
+std::vector<EventLiteral> Gamma(const Expr* e) {
+  std::vector<EventLiteral> out;
+  for (SymbolId s : MentionedSymbols(e)) {
+    out.push_back(EventLiteral::Positive(s));
+    out.push_back(EventLiteral::Complement(s));
+  }
+  return out;
+}
+
+std::vector<EventLiteral> GammaExcluding(const Expr* d, EventLiteral e) {
+  std::vector<EventLiteral> out;
+  for (EventLiteral l : Gamma(d)) {
+    if (l.symbol() != e.symbol()) out.push_back(l);
+  }
+  return out;
+}
+
+std::string ExprToString(const Expr* e, const Alphabet& alphabet) {
+  std::string out;
+  PrintExpr(e, alphabet, 0, &out);
+  return out;
+}
+
+}  // namespace cdes

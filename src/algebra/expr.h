@@ -1,0 +1,154 @@
+#ifndef CDES_ALGEBRA_EXPR_H_
+#define CDES_ALGEBRA_EXPR_H_
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/event.h"
+
+namespace cdes {
+
+/// Node kinds of the event algebra E (Syntax 1-4).
+///
+///   0    — the impossible dependency (denotes no traces)
+///   ⊤    — the vacuous dependency (denotes all traces)
+///   atom — an event literal e or ē (Semantics 1: satisfied when it occurs)
+///   ·    — sequence / memberwise concatenation (Semantics 3)
+///   +    — choice / union (Semantics 2)
+///   |    — conjunction / intersection (Semantics 4)
+enum class ExprKind { kZero, kTop, kAtom, kSeq, kOr, kAnd };
+
+/// An immutable, arena-owned node of an event expression DAG.
+///
+/// Nodes are created exclusively through ExprArena, which hash-conses them:
+/// structurally identical nodes are the same pointer, so pointer equality is
+/// structural equality and node ids give a deterministic total order.
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+
+  /// The literal of a kAtom node.
+  EventLiteral literal() const {
+    CDES_DCHECK(kind_ == ExprKind::kAtom);
+    return literal_;
+  }
+
+  /// Children of kSeq / kOr / kAnd nodes (empty otherwise). Sequence
+  /// children are in temporal order; Or/And children are sorted by id.
+  const std::vector<const Expr*>& children() const { return children_; }
+
+  /// Arena-assigned creation index; deterministic for a fixed construction
+  /// sequence and usable as a total order.
+  uint64_t id() const { return id_; }
+
+  bool IsZero() const { return kind_ == ExprKind::kZero; }
+  bool IsTop() const { return kind_ == ExprKind::kTop; }
+  bool IsAtom() const { return kind_ == ExprKind::kAtom; }
+
+ private:
+  friend class ExprArena;
+  Expr(ExprKind kind, EventLiteral literal, std::vector<const Expr*> children,
+       uint64_t id)
+      : kind_(kind), literal_(literal), children_(std::move(children)),
+        id_(id) {}
+
+  ExprKind kind_;
+  EventLiteral literal_;
+  std::vector<const Expr*> children_;
+  uint64_t id_;
+};
+
+/// Factory and owner of hash-consed expression nodes.
+///
+/// The arena canonicalizes on construction:
+///   Or:  flattened, 0 dropped, duplicates dropped, ⊤ absorbs, sorted by id;
+///        empty Or is 0, singleton Or is its child.
+///   And: flattened, ⊤ dropped, duplicates dropped, 0 absorbs, sorted by id;
+///        empty And is ⊤, singleton And is its child.
+///   Seq: flattened, ⊤ dropped (⊤ is the identity of · on U_E), 0 absorbs;
+///        a sequence whose atom children repeat a symbol is 0 (no trace in
+///        U_E carries a symbol twice or in both polarities — Definition 1);
+///        empty Seq is ⊤, singleton Seq is its child.
+///
+/// These are exactly the identities validated by the paper's trace semantics;
+/// every one is checked against model-theoretic denotation in the tests.
+class ExprArena {
+ public:
+  ExprArena();
+
+  // The arena is an identity object; expressions point into it.
+  ExprArena(const ExprArena&) = delete;
+  ExprArena& operator=(const ExprArena&) = delete;
+
+  const Expr* Zero() const { return zero_; }
+  const Expr* Top() const { return top_; }
+
+  const Expr* Atom(EventLiteral literal);
+
+  /// Sequence E1 · E2 · ... (binary · is associative; we store n-ary).
+  const Expr* Seq(std::span<const Expr* const> children);
+  const Expr* Seq(const Expr* a, const Expr* b) {
+    const Expr* kids[] = {a, b};
+    return Seq(kids);
+  }
+
+  /// Choice E1 + E2 + ...
+  const Expr* Or(std::span<const Expr* const> children);
+  const Expr* Or(const Expr* a, const Expr* b) {
+    const Expr* kids[] = {a, b};
+    return Or(kids);
+  }
+
+  /// Conjunction E1 | E2 | ...
+  const Expr* And(std::span<const Expr* const> children);
+  const Expr* And(const Expr* a, const Expr* b) {
+    const Expr* kids[] = {a, b};
+    return And(kids);
+  }
+
+  /// Number of live (canonical) nodes, including 0 and ⊤.
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct NodeKey {
+    ExprKind kind;
+    uint32_t literal_index;
+    std::vector<const Expr*> children;
+    bool operator==(const NodeKey& other) const = default;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const;
+  };
+
+  const Expr* Intern(ExprKind kind, EventLiteral literal,
+                     std::vector<const Expr*> children);
+
+  std::deque<std::unique_ptr<Expr>> nodes_;
+  std::unordered_map<NodeKey, const Expr*, NodeKeyHash> interned_;
+  const Expr* zero_ = nullptr;
+  const Expr* top_ = nullptr;
+};
+
+/// The set of symbols mentioned anywhere in `e`.
+std::set<SymbolId> MentionedSymbols(const Expr* e);
+
+/// The paper's Γ_E: the events mentioned in E *and their complements*, i.e.
+/// both literals of every mentioned symbol, in index order.
+std::vector<EventLiteral> Gamma(const Expr* e);
+
+/// Γ_{D^e} = Γ_D − {e, ē} (Definition 2's side alphabet).
+std::vector<EventLiteral> GammaExcluding(const Expr* d, EventLiteral e);
+
+/// Pretty-prints with minimal parentheses. `+` binds loosest, then `|`,
+/// then `·` (printed as '.'); complements print as '~e'; constants as
+/// "0" and "T".
+std::string ExprToString(const Expr* e, const Alphabet& alphabet);
+
+}  // namespace cdes
+
+#endif  // CDES_ALGEBRA_EXPR_H_

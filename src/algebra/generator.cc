@@ -1,0 +1,76 @@
+#include "algebra/generator.h"
+
+namespace cdes {
+namespace {
+
+const Expr* GenerateRec(ExprArena* arena, Rng* rng,
+                        const RandomExprOptions& options, size_t depth) {
+  bool leaf = depth >= options.max_depth || rng->Bernoulli(0.3);
+  if (leaf) {
+    if (rng->Bernoulli(options.constant_probability)) {
+      return rng->Bernoulli(0.5) ? arena->Zero() : arena->Top();
+    }
+    SymbolId symbol =
+        static_cast<SymbolId>(rng->Uniform(options.symbol_count));
+    return arena->Atom(EventLiteral(symbol, rng->Bernoulli(0.5)));
+  }
+  size_t arity = 2 + rng->Uniform(options.max_arity - 1);
+  std::vector<const Expr*> kids;
+  kids.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    kids.push_back(GenerateRec(arena, rng, options, depth + 1));
+  }
+  switch (rng->Uniform(3)) {
+    case 0:
+      return arena->Seq(kids);
+    case 1:
+      return arena->Or(kids);
+    default:
+      return arena->And(kids);
+  }
+}
+
+}  // namespace
+
+const Expr* GenerateRandomExpr(ExprArena* arena, Rng* rng,
+                               const RandomExprOptions& options) {
+  CDES_CHECK_GT(options.symbol_count, 0u);
+  CDES_CHECK_GE(options.max_arity, 2u);
+  return GenerateRec(arena, rng, options, 0);
+}
+
+const Expr* KleinImplies(ExprArena* arena, SymbolId e, SymbolId f) {
+  return arena->Or(arena->Atom(EventLiteral::Complement(e)),
+                   arena->Atom(EventLiteral::Positive(f)));
+}
+
+const Expr* KleinPrecedes(ExprArena* arena, SymbolId e, SymbolId f) {
+  const Expr* kids[] = {
+      arena->Atom(EventLiteral::Complement(e)),
+      arena->Atom(EventLiteral::Complement(f)),
+      arena->Seq(arena->Atom(EventLiteral::Positive(e)),
+                 arena->Atom(EventLiteral::Positive(f)))};
+  return arena->Or(kids);
+}
+
+const Expr* Chain(ExprArena* arena, const std::vector<SymbolId>& symbols) {
+  std::vector<const Expr*> kids;
+  kids.reserve(symbols.size());
+  for (SymbolId s : symbols) {
+    kids.push_back(arena->Atom(EventLiteral::Positive(s)));
+  }
+  return arena->Seq(kids);
+}
+
+const Expr* OrderedIfAll(ExprArena* arena,
+                         const std::vector<SymbolId>& symbols) {
+  std::vector<const Expr*> kids;
+  kids.reserve(symbols.size() + 1);
+  for (SymbolId s : symbols) {
+    kids.push_back(arena->Atom(EventLiteral::Complement(s)));
+  }
+  kids.push_back(Chain(arena, symbols));
+  return arena->Or(kids);
+}
+
+}  // namespace cdes

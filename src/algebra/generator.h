@@ -1,0 +1,46 @@
+#ifndef CDES_ALGEBRA_GENERATOR_H_
+#define CDES_ALGEBRA_GENERATOR_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/rng.h"
+
+namespace cdes {
+
+/// Knobs for random event-expression generation (property tests and
+/// benchmark workloads).
+struct RandomExprOptions {
+  /// Symbols are drawn from {0, ..., symbol_count-1}.
+  size_t symbol_count = 3;
+  /// Maximum operator-nesting depth.
+  size_t max_depth = 3;
+  /// Maximum children per n-ary node.
+  size_t max_arity = 3;
+  /// Probability that a leaf is 0 or ⊤ rather than an atom.
+  double constant_probability = 0.1;
+};
+
+/// Draws a random expression. With the same rng stream and options the
+/// result is deterministic.
+const Expr* GenerateRandomExpr(ExprArena* arena, Rng* rng,
+                               const RandomExprOptions& options);
+
+/// D_→ of Example 2 for the given symbols: ē + f (if e occurs, f occurs).
+const Expr* KleinImplies(ExprArena* arena, SymbolId e, SymbolId f);
+
+/// D_< of Example 3: ē + f̄ + e·f (if both occur, e precedes f).
+const Expr* KleinPrecedes(ExprArena* arena, SymbolId e, SymbolId f);
+
+/// The chain dependency e1·e2·...·en (all of them, in order) over the given
+/// symbols — the stress family for residual-graph and guard-size growth.
+const Expr* Chain(ExprArena* arena, const std::vector<SymbolId>& symbols);
+
+/// ē1 + ē2 + ... + ēn + e1·e2·...·en: the n-ary generalization of D_<
+/// ("if all occur they occur in order"), whose automaton grows
+/// combinatorially while the expression stays linear.
+const Expr* OrderedIfAll(ExprArena* arena, const std::vector<SymbolId>& symbols);
+
+}  // namespace cdes
+
+#endif  // CDES_ALGEBRA_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "algebra/semantics.h"
+
+#include <algorithm>
+
+namespace cdes {
+namespace {
+
+bool SatisfiesSegment(const Trace& u, size_t lo, size_t hi, const Expr* e);
+
+// Matches children[idx..] of a sequence against u[lo, hi): tries every split
+// point for the current child and recurses on the remainder.
+bool SatisfiesSeqTail(const Trace& u, size_t lo, size_t hi,
+                      const std::vector<const Expr*>& children, size_t idx) {
+  if (idx + 1 == children.size()) {
+    return SatisfiesSegment(u, lo, hi, children[idx]);
+  }
+  for (size_t split = lo; split <= hi; ++split) {
+    if (SatisfiesSegment(u, lo, split, children[idx]) &&
+        SatisfiesSeqTail(u, split, hi, children, idx + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SatisfiesSegment(const Trace& u, size_t lo, size_t hi, const Expr* e) {
+  switch (e->kind()) {
+    case ExprKind::kZero:
+      return false;
+    case ExprKind::kTop:
+      return true;
+    case ExprKind::kAtom: {
+      for (size_t i = lo; i < hi; ++i) {
+        if (u[i] == e->literal()) return true;
+      }
+      return false;
+    }
+    case ExprKind::kOr:
+      return std::any_of(e->children().begin(), e->children().end(),
+                         [&](const Expr* c) {
+                           return SatisfiesSegment(u, lo, hi, c);
+                         });
+    case ExprKind::kAnd:
+      return std::all_of(e->children().begin(), e->children().end(),
+                         [&](const Expr* c) {
+                           return SatisfiesSegment(u, lo, hi, c);
+                         });
+    case ExprKind::kSeq:
+      return SatisfiesSeqTail(u, lo, hi, e->children(), 0);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Satisfies(const Trace& u, const Expr* e) {
+  return SatisfiesSegment(u, 0, u.size(), e);
+}
+
+std::vector<size_t> Denotation(const Expr* e,
+                               const std::vector<Trace>& universe) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < universe.size(); ++i) {
+    if (Satisfies(universe[i], e)) out.push_back(i);
+  }
+  return out;
+}
+
+bool ExprEquivalent(const Expr* a, const Expr* b, size_t extra_symbols) {
+  std::set<SymbolId> symbols = MentionedSymbols(a);
+  std::set<SymbolId> symbols_b = MentionedSymbols(b);
+  symbols.insert(symbols_b.begin(), symbols_b.end());
+  SymbolId max_symbol = 0;
+  for (SymbolId s : symbols) max_symbol = std::max(max_symbol, s + 1);
+  std::vector<EventLiteral> literals;
+  for (SymbolId s : symbols) {
+    literals.push_back(EventLiteral::Positive(s));
+    literals.push_back(EventLiteral::Complement(s));
+  }
+  // Fresh symbols, guaranteed unmentioned, exercise behaviour in the
+  // presence of unrelated events.
+  for (size_t i = 0; i < extra_symbols; ++i) {
+    literals.push_back(EventLiteral::Positive(max_symbol + i));
+    literals.push_back(EventLiteral::Complement(max_symbol + i));
+  }
+  for (const Trace& u : EnumerateUniverse(literals)) {
+    if (Satisfies(u, a) != Satisfies(u, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace cdes

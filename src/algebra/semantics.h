@@ -1,0 +1,33 @@
+#ifndef CDES_ALGEBRA_SEMANTICS_H_
+#define CDES_ALGEBRA_SEMANTICS_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/trace.h"
+
+namespace cdes {
+
+/// u ⊨ E per Semantics 1-5:
+///   u ⊨ f        iff f occurs on u                    (atoms)
+///   u ⊨ E1 + E2  iff u ⊨ E1 or u ⊨ E2
+///   u ⊨ E1 · E2  iff u = vw with v ⊨ E1 and w ⊨ E2
+///   u ⊨ E1 | E2  iff u ⊨ E1 and u ⊨ E2
+///   u ⊨ ⊤ always; u ⊨ 0 never.
+bool Satisfies(const Trace& u, const Expr* e);
+
+/// The denotation [[E]] restricted to `universe`: indices of the satisfying
+/// traces (Example 1's [[e]], [[e·f]], ... are computed this way in tests).
+std::vector<size_t> Denotation(const Expr* e,
+                               const std::vector<Trace>& universe);
+
+/// Semantic equivalence of two expressions, decided by comparing
+/// denotations over the full universe of traces on the union of their
+/// mentioned symbols plus `extra_symbols` fresh symbols (extra symbols catch
+/// identities that would hold only on a too-small alphabet). Exponential in
+/// alphabet size; intended for tests and for small dependency alphabets.
+bool ExprEquivalent(const Expr* a, const Expr* b, size_t extra_symbols = 1);
+
+}  // namespace cdes
+
+#endif  // CDES_ALGEBRA_SEMANTICS_H_

@@ -1,0 +1,45 @@
+#ifndef CDES_ALGEBRA_TRACE_H_
+#define CDES_ALGEBRA_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/event.h"
+
+namespace cdes {
+
+/// A finite trace: a sequence of event literals (Definition 1).
+///
+/// Valid traces never repeat a symbol and never contain both e and ē; helper
+/// predicates below enforce this. (The paper also admits infinite traces; all
+/// scheduling decisions depend on finite prefixes, and maximal traces over a
+/// finite alphabet are finite, so finite sequences suffice here.)
+using Trace = std::vector<EventLiteral>;
+
+/// True iff `u` lies in the universe U_E: each symbol occurs at most once
+/// and never in both polarities (Definition 1).
+bool IsValidTrace(const Trace& u);
+
+/// True iff appending `next` to valid trace `u` stays inside U_E.
+bool CanExtend(const Trace& u, EventLiteral next);
+
+/// True iff `u` is maximal over the `symbol_count` symbols {0, ...,
+/// symbol_count-1}: every symbol appears in one polarity (the universe U_T
+/// of §4.1, over which guards are evaluated).
+bool IsMaximalTrace(const Trace& u, size_t symbol_count);
+
+/// "<e ~f g>" using names from `alphabet`.
+std::string TraceToString(const Trace& u, const Alphabet& alphabet);
+
+/// Enumerates the finite fragment of U_E over the given literal set: all
+/// valid traces (including the empty trace) using each symbol at most once.
+/// Grows as sum_m C(k,m)·m!·2^m, so keep k small (tests use k <= 4).
+std::vector<Trace> EnumerateUniverse(const std::vector<EventLiteral>& literals);
+
+/// Enumerates U_T over symbols {0..symbol_count-1}: all maximal traces
+/// (every symbol decided one way, all orders). Size is 2^k · k!.
+std::vector<Trace> EnumerateMaximalTraces(size_t symbol_count);
+
+}  // namespace cdes
+
+#endif  // CDES_ALGEBRA_TRACE_H_

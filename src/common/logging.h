@@ -1,0 +1,79 @@
+#ifndef CDES_COMMON_LOGGING_H_
+#define CDES_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cdes {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log-line builder; emits on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace cdes
+
+#define CDES_LOG(level)                                                      \
+  (::cdes::LogLevel::k##level < ::cdes::GetLogLevel())                       \
+      ? (void)0                                                              \
+      : (void)::cdes::internal_logging::LogMessage(::cdes::LogLevel::k##level, \
+                                                   __FILE__, __LINE__)
+
+// CHECK macros terminate on violated invariants. They are for programmer
+// errors (broken internal invariants), not for recoverable conditions, which
+// go through Status.
+#define CDES_CHECK(cond)                                                       \
+  while (!(cond))                                                              \
+  ::cdes::internal_logging::LogMessage(::cdes::LogLevel::kFatal, __FILE__,     \
+                                       __LINE__)                               \
+      << "Check failed: " #cond " "
+
+#define CDES_CHECK_EQ(a, b) CDES_CHECK((a) == (b))
+#define CDES_CHECK_NE(a, b) CDES_CHECK((a) != (b))
+#define CDES_CHECK_LT(a, b) CDES_CHECK((a) < (b))
+#define CDES_CHECK_LE(a, b) CDES_CHECK((a) <= (b))
+#define CDES_CHECK_GT(a, b) CDES_CHECK((a) > (b))
+#define CDES_CHECK_GE(a, b) CDES_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define CDES_DCHECK(cond) CDES_CHECK(cond)
+#else
+#define CDES_DCHECK(cond) \
+  while (false) ::cdes::internal_logging::NullStream()
+#endif
+
+#endif  // CDES_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#ifndef CDES_COMMON_RNG_H_
+#define CDES_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace cdes {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. Used throughout the simulator and workload generators so that
+/// every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace cdes
+
+#endif  // CDES_COMMON_RNG_H_

@@ -1,0 +1,43 @@
+#ifndef CDES_COMMON_STRINGS_H_
+#define CDES_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdes {
+
+/// Joins the elements of `parts` (stream-printable) with `sep`.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out << sep;
+    first = false;
+    out << p;
+  }
+  return out.str();
+}
+
+/// Concatenates stream-printable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  static_cast<void>((out << ... << args));
+  return out.str();
+}
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace cdes
+
+#endif  // CDES_COMMON_STRINGS_H_

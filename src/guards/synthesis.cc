@@ -1,0 +1,128 @@
+#include "guards/synthesis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "temporal/simplify.h"
+
+namespace cdes {
+namespace {
+
+// Union-find over the children of an Or/And node, merged by shared
+// symbols; returns component-representative index per child, or an empty
+// vector when there is a single component.
+std::vector<size_t> SymbolComponents(const std::vector<const Expr*>& kids) {
+  std::vector<size_t> parent(kids.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  std::map<SymbolId, size_t> owner;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    for (SymbolId s : MentionedSymbols(kids[i])) {
+      auto [it, inserted] = owner.emplace(s, i);
+      if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  std::vector<size_t> roots(kids.size());
+  std::set<size_t> distinct;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    roots[i] = find(i);
+    distinct.insert(roots[i]);
+  }
+  if (distinct.size() <= 1) return {};
+  return roots;
+}
+
+}  // namespace
+
+const Guard* GuardSynthesizer::Synthesize(const Expr* d, EventLiteral e) {
+  return SynthesizeImpl(residuator_->NormalForm(d), e);
+}
+
+const Guard* GuardSynthesizer::SynthesizeImpl(const Expr* d, EventLiteral e) {
+  auto key = std::make_pair(d, e);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const Guard* result = nullptr;
+
+  // Theorems 2 and 4: when D splits into parts over disjoint alphabets,
+  // G distributes over + and | of the parts.
+  if (d->kind() == ExprKind::kOr || d->kind() == ExprKind::kAnd) {
+    std::vector<size_t> roots = SymbolComponents(d->children());
+    if (!roots.empty()) {
+      std::map<size_t, std::vector<const Expr*>> groups;
+      for (size_t i = 0; i < d->children().size(); ++i) {
+        groups[roots[i]].push_back(d->children()[i]);
+      }
+      std::vector<const Guard*> parts;
+      parts.reserve(groups.size());
+      ExprArena* exprs = residuator_->arena();
+      for (auto& [root, members] : groups) {
+        const Expr* part = d->kind() == ExprKind::kOr ? exprs->Or(members)
+                                                      : exprs->And(members);
+        parts.push_back(SynthesizeImpl(part, e));
+      }
+      result = d->kind() == ExprKind::kOr ? guards_->Or(parts)
+                                          : guards_->And(parts);
+      cache_.emplace(key, result);
+      return result;
+    }
+  }
+
+  // Definition 2 proper.
+  std::vector<EventLiteral> side = GammaExcluding(d, e);
+  std::vector<const Guard*> summands;
+  summands.reserve(side.size() + 1);
+  // Case: e occurs before any other event mentioned by D.
+  std::vector<const Guard*> first;
+  first.reserve(side.size() + 1);
+  first.push_back(guards_->Diamond(residuator_->Residuate(d, e)));
+  for (EventLiteral f : side) first.push_back(guards_->Neg(f));
+  summands.push_back(guards_->And(first));
+  // Cases: some other event f occurred first.
+  for (EventLiteral f : side) {
+    const Guard* rest = SynthesizeImpl(residuator_->Residuate(d, f), e);
+    summands.push_back(guards_->And(guards_->Box(f), rest));
+  }
+  result = guards_->Or(summands);
+  cache_.emplace(key, result);
+  return result;
+}
+
+const Guard* GuardSynthesizer::SynthesizeSimplified(const Expr* d,
+                                                    EventLiteral e) {
+  return SimplifyGuard(guards_, Synthesize(d, e));
+}
+
+const Guard* GuardSynthesizer::PathGuard(const Trace& path, size_t k) {
+  CDES_CHECK_LT(k, path.size());
+  std::vector<const Guard*> conj;
+  conj.reserve(path.size());
+  for (size_t i = 0; i < k; ++i) conj.push_back(guards_->Box(path[i]));
+  std::vector<const Expr*> tail;
+  tail.reserve(path.size() - k - 1);
+  for (size_t i = k + 1; i < path.size(); ++i) {
+    conj.push_back(guards_->Neg(path[i]));
+    tail.push_back(residuator_->arena()->Atom(path[i]));
+  }
+  if (!tail.empty()) {
+    conj.push_back(guards_->Diamond(residuator_->arena()->Seq(tail)));
+  }
+  return guards_->And(conj);
+}
+
+const Guard* GuardSynthesizer::SynthesizeViaPaths(const Expr* d,
+                                                  EventLiteral e) {
+  std::vector<const Guard*> summands;
+  for (const Trace& path : EnumeratePaths(residuator_, d)) {
+    for (size_t k = 0; k < path.size(); ++k) {
+      if (path[k] == e) summands.push_back(PathGuard(path, k));
+    }
+  }
+  return guards_->Or(summands);
+}
+
+}  // namespace cdes

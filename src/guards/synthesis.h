@@ -1,0 +1,70 @@
+#ifndef CDES_GUARDS_SYNTHESIS_H_
+#define CDES_GUARDS_SYNTHESIS_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "algebra/residuation.h"
+#include "temporal/guard.h"
+
+namespace cdes {
+
+/// Computes guards on events from dependencies (§4.2, Definition 2):
+///
+///   G(D, e) = (◇(D/e) | ∧_{f ∈ Γ_{D^e}} ¬f)  +  Σ_{f ∈ Γ_{D^e}} (□f | G(D/f, e))
+///
+/// The first summand covers computations where e occurs before any other
+/// event D cares about; each remaining summand covers those where some
+/// other event f occurred first (Lemma 3 justifies this case split).
+///
+/// Recursion terminates because a residual never mentions the symbol it
+/// was residuated by, so Γ strictly shrinks. Results are memoized on the
+/// hash-consed (dependency, literal) pair — the precompilation the paper's
+/// §6 relies on for runtime efficiency.
+class GuardSynthesizer {
+ public:
+  GuardSynthesizer(GuardArena* guards, Residuator* residuator)
+      : guards_(guards), residuator_(residuator) {}
+
+  GuardSynthesizer(const GuardSynthesizer&) = delete;
+  GuardSynthesizer& operator=(const GuardSynthesizer&) = delete;
+
+  /// G(D, e), exactly per Definition 2 (plus the Theorem 2/4 split: when D
+  /// is a choice/conjunction of parts over disjoint alphabets, guards are
+  /// synthesized per part and recombined, avoiding the cross-product
+  /// recursion).
+  const Guard* Synthesize(const Expr* d, EventLiteral e);
+
+  /// Synthesize followed by semantic canonicalization (SimplifyGuard) —
+  /// yields the succinct forms of Example 9. Exponential in |Γ_D| symbols;
+  /// use `Synthesize` alone for large dependencies.
+  const Guard* SynthesizeSimplified(const Expr* d, EventLiteral e);
+
+  /// The per-path guard of Lemma 5: for ρ = e1…en ∈ Π(D) with ρ_k the
+  /// event being guarded,
+  ///   G(ρ, ρ_k) = □e1|…|□e_{k-1} | ¬e_{k+1}|…|¬e_n | ◇(e_{k+1}·…·e_n).
+  /// `k` is zero-based into `path`.
+  const Guard* PathGuard(const Trace& path, size_t k);
+
+  /// Lemma 5's right-hand side: the sum of PathGuard over every occurrence
+  /// of `e` in every path of Π(D). Used to cross-check Synthesize.
+  const Guard* SynthesizeViaPaths(const Expr* d, EventLiteral e);
+
+  GuardArena* guards() const { return guards_; }
+  Residuator* residuator() const { return residuator_; }
+
+  /// Number of distinct (dependency, literal) synthesis results memoized.
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const Guard* SynthesizeImpl(const Expr* d, EventLiteral e);
+
+  GuardArena* guards_;
+  Residuator* residuator_;
+  std::map<std::pair<const Expr*, EventLiteral>, const Guard*> cache_;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_GUARDS_SYNTHESIS_H_

@@ -1,0 +1,73 @@
+#ifndef CDES_GUARDS_VERIFIER_H_
+#define CDES_GUARDS_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "guards/workflow.h"
+
+namespace cdes {
+
+/// What a schedule-space exploration found (§6: "The compilation phase can
+/// detect these conditions..."). Empty vectors mean the workflow's guard
+/// discipline is safe under every interleaving.
+struct VerificationReport {
+  /// A prefix reachable under the guard discipline that already violates a
+  /// dependency (should be impossible for synthesized guards; indicates a
+  /// hand-written guard table or a bug).
+  struct SafetyViolation {
+    Trace prefix;
+    std::string dependency;
+  };
+
+  /// Two events simultaneously enabled whose firing order matters — the
+  /// distributed ¬-agreement problem of §4.3. For guards synthesized by
+  /// Definition 2 this list is empty, which is exactly the paper's remark
+  /// that "certain consensus requirements can be eliminated without loss
+  /// of correctness".
+  struct NegationRace {
+    Trace prefix;
+    EventLiteral first;
+    EventLiteral second;
+  };
+
+  /// A maximal reachable trace that leaves some dependency unsatisfied.
+  struct LivenessGap {
+    Trace trace;
+    std::string dependency;
+  };
+
+  std::vector<SafetyViolation> safety_violations;
+  std::vector<NegationRace> negation_races;
+  std::vector<LivenessGap> liveness_gaps;
+  /// Number of distinct reachable prefixes explored.
+  size_t states_explored = 0;
+
+  bool ok() const {
+    return safety_violations.empty() && negation_races.empty() &&
+           liveness_gaps.empty();
+  }
+
+  std::string ToString(const Alphabet& alphabet) const;
+};
+
+struct VerifyOptions {
+  /// Stop after this many explored prefixes (exploration is exponential in
+  /// the alphabet; workflows of up to ~6 symbols verify exhaustively).
+  size_t max_states = 200000;
+  /// Stop at the first finding of each kind.
+  bool first_failure_only = true;
+};
+
+/// Exhaustively explores every prefix reachable when events fire exactly
+/// when their reduced guard licenses occurrence now (the optimistic ¬
+/// evaluation the distributed actors use), checking safety, ¬-race
+/// freedom, and terminal satisfaction. Returns OutOfRange if the state cap
+/// was hit before the space was covered.
+Result<VerificationReport> VerifyScheduleSpace(
+    WorkflowContext* ctx, const WorkflowSpec& spec,
+    const VerifyOptions& options = {});
+
+}  // namespace cdes
+
+#endif  // CDES_GUARDS_VERIFIER_H_

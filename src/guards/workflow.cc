@@ -1,0 +1,91 @@
+#include "guards/workflow.h"
+
+#include "algebra/residuation.h"
+#include "algebra/semantics.h"
+#include "temporal/guard_semantics.h"
+#include "temporal/simplify.h"
+
+namespace cdes {
+
+std::set<SymbolId> WorkflowSpec::Symbols() const {
+  std::set<SymbolId> out;
+  for (const Dependency& d : dependencies_) {
+    std::set<SymbolId> s = MentionedSymbols(d.expr);
+    out.insert(s.begin(), s.end());
+  }
+  return out;
+}
+
+const Guard* CompiledWorkflow::GuardFor(EventLiteral literal) const {
+  auto it = guards_.find(literal);
+  return it == guards_.end() ? top_ : it->second;
+}
+
+const std::vector<std::pair<size_t, const Guard*>>&
+CompiledWorkflow::ContributionsFor(EventLiteral literal) const {
+  auto it = contributions_.find(literal);
+  return it == contributions_.end() ? no_contributions_ : it->second;
+}
+
+bool CompiledWorkflow::Generates(const Trace& u) const {
+  if (impossible_) return false;
+  for (size_t j = 0; j < u.size(); ++j) {
+    // Definition 4: u_{j+1} = e requires u ⊨_j G(D, e) for every D.
+    if (!HoldsAt(u, j, GuardFor(u[j]))) return false;
+  }
+  return true;
+}
+
+CompiledWorkflow CompileWorkflow(WorkflowContext* ctx,
+                                 const WorkflowSpec& spec,
+                                 const CompileOptions& options) {
+  CompiledWorkflow out;
+  out.top_ = ctx->guards()->True();
+  out.dependencies_ = spec.dependencies();
+  out.symbols_ = spec.Symbols();
+  // An unsatisfiable dependency admits no computation at all (it may be
+  // the constant 0 — symbol-free, so the usual "mentions e" test would
+  // silently skip it — or a contradiction like e|ē). It contributes 0
+  // everywhere.
+  std::vector<bool> dep_impossible(out.dependencies_.size(), false);
+  for (size_t di = 0; di < out.dependencies_.size(); ++di) {
+    if (!IsSatisfiable(ctx->residuator(), out.dependencies_[di].expr)) {
+      dep_impossible[di] = true;
+      out.impossible_ = true;
+    }
+  }
+  for (SymbolId s : out.symbols_) {
+    for (EventLiteral l :
+         {EventLiteral::Positive(s), EventLiteral::Complement(s)}) {
+      std::vector<const Guard*> conj;
+      for (size_t di = 0; di < out.dependencies_.size(); ++di) {
+        const Dependency& dep = out.dependencies_[di];
+        if (dep_impossible[di]) {
+          out.contributions_[l].emplace_back(di, ctx->guards()->False());
+          conj.push_back(ctx->guards()->False());
+          continue;
+        }
+        std::set<SymbolId> dep_symbols = MentionedSymbols(dep.expr);
+        if (!dep_symbols.count(s)) continue;
+        bool simplify = options.simplify &&
+                        dep_symbols.size() <= options.max_simplify_symbols;
+        const Guard* g =
+            simplify ? ctx->synthesizer()->SynthesizeSimplified(dep.expr, l)
+                     : ctx->synthesizer()->Synthesize(dep.expr, l);
+        out.contributions_[l].emplace_back(di, g);
+        conj.push_back(g);
+      }
+      out.guards_[l] = ctx->guards()->And(conj);
+    }
+  }
+  return out;
+}
+
+bool SatisfiesAll(const WorkflowSpec& spec, const Trace& u) {
+  for (const Dependency& d : spec.dependencies()) {
+    if (!Satisfies(u, d.expr)) return false;
+  }
+  return true;
+}
+
+}  // namespace cdes

@@ -1,0 +1,172 @@
+#include "params/param_expr.h"
+
+#include "common/strings.h"
+
+namespace cdes {
+
+PTerm PTerm::Substitute(const Binding& binding) const {
+  if (!is_var()) return *this;
+  auto it = binding.find(var_);
+  return it == binding.end() ? *this : Val(it->second);
+}
+
+PAtom PAtom::Substitute(const Binding& binding) const {
+  PAtom out = *this;
+  for (PTerm& t : out.args) t = t.Substitute(binding);
+  return out;
+}
+
+bool PAtom::IsGround() const {
+  for (const PTerm& t : args) {
+    if (t.is_var()) return false;
+  }
+  return true;
+}
+
+std::set<std::string> PAtom::Vars() const {
+  std::set<std::string> out;
+  for (const PTerm& t : args) {
+    if (t.is_var()) out.insert(t.var());
+  }
+  return out;
+}
+
+std::string PAtom::GroundName() const {
+  CDES_CHECK(IsGround());
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const PTerm& t : args) parts.push_back(StrCat(t.value()));
+  return StrCat(event, "[", StrJoin(parts, ","), "]");
+}
+
+bool UnifyAtom(const PAtom& pattern, const std::string& event,
+               bool complemented, const std::vector<ParamValue>& args,
+               Binding* binding) {
+  if (pattern.event != event || pattern.complemented != complemented) {
+    return false;
+  }
+  if (pattern.args.size() != args.size()) return false;
+  Binding extended = *binding;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const PTerm& t = pattern.args[i];
+    if (t.is_var()) {
+      auto [it, inserted] = extended.emplace(t.var(), args[i]);
+      if (!inserted && it->second != args[i]) return false;
+    } else if (t.value() != args[i]) {
+      return false;
+    }
+  }
+  *binding = std::move(extended);
+  return true;
+}
+
+PExpr PExpr::Atom(PAtom atom) {
+  PExpr e(Kind::kAtom);
+  e.atom_ = std::move(atom);
+  return e;
+}
+
+PExpr PExpr::Seq(std::vector<PExpr> children) {
+  PExpr e(Kind::kSeq);
+  e.children_ = std::move(children);
+  return e;
+}
+
+PExpr PExpr::Or(std::vector<PExpr> children) {
+  PExpr e(Kind::kOr);
+  e.children_ = std::move(children);
+  return e;
+}
+
+PExpr PExpr::And(std::vector<PExpr> children) {
+  PExpr e(Kind::kAnd);
+  e.children_ = std::move(children);
+  return e;
+}
+
+PExpr PExpr::Substitute(const Binding& binding) const {
+  PExpr out = *this;
+  out.atom_ = atom_.Substitute(binding);
+  for (PExpr& c : out.children_) c = c.Substitute(binding);
+  return out;
+}
+
+bool PExpr::IsGround() const {
+  if (kind_ == Kind::kAtom) return atom_.IsGround();
+  for (const PExpr& c : children_) {
+    if (!c.IsGround()) return false;
+  }
+  return true;
+}
+
+std::set<std::string> PExpr::FreeVars() const {
+  std::set<std::string> out;
+  if (kind_ == Kind::kAtom) return atom_.Vars();
+  for (const PExpr& c : children_) {
+    std::set<std::string> inner = c.FreeVars();
+    out.insert(inner.begin(), inner.end());
+  }
+  return out;
+}
+
+std::vector<PAtom> PExpr::Atoms() const {
+  std::vector<PAtom> out;
+  if (kind_ == Kind::kAtom) {
+    out.push_back(atom_);
+    return out;
+  }
+  for (const PExpr& c : children_) {
+    std::vector<PAtom> inner = c.Atoms();
+    out.insert(out.end(), inner.begin(), inner.end());
+  }
+  return out;
+}
+
+Result<const Expr*> PExpr::Ground(Alphabet* alphabet, ExprArena* arena) const {
+  if (!IsGround()) {
+    return Status::FailedPrecondition(
+        "cannot ground a template with free variables");
+  }
+  switch (kind_) {
+    case Kind::kZero:
+      return arena->Zero();
+    case Kind::kTop:
+      return arena->Top();
+    case Kind::kAtom: {
+      SymbolId symbol = alphabet->Intern(atom_.GroundName());
+      return arena->Atom(EventLiteral(symbol, atom_.complemented));
+    }
+    case Kind::kSeq:
+    case Kind::kOr:
+    case Kind::kAnd: {
+      std::vector<const Expr*> kids;
+      kids.reserve(children_.size());
+      for (const PExpr& c : children_) {
+        CDES_ASSIGN_OR_RETURN(const Expr* k, c.Ground(alphabet, arena));
+        kids.push_back(k);
+      }
+      if (kind_ == Kind::kSeq) return arena->Seq(kids);
+      if (kind_ == Kind::kOr) return arena->Or(kids);
+      return arena->And(kids);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+PExpr MutualExclusionDependency(const std::string& b1, const std::string& e1,
+                                const std::string& b2,
+                                const std::string& e2) {
+  (void)e2;  // the symmetric constraint uses a second instance of this
+             // dependency with the roles swapped
+  PTerm x = PTerm::Var("x"), y = PTerm::Var("y");
+  PAtom b1x{b1, false, {x}}, e1x{e1, false, {x}}, b2y{b2, false, {y}};
+  PAtom not_e1x{e1, true, {x}}, not_b2y{b2, true, {y}};
+  return PExpr::Or({
+      PExpr::Seq({PExpr::Atom(b2y), PExpr::Atom(b1x)}),
+      PExpr::Atom(not_e1x),
+      PExpr::Atom(not_b2y),
+      PExpr::Seq({PExpr::Atom(e1x), PExpr::Atom(b2y)}),
+  });
+}
+
+}  // namespace cdes

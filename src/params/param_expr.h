@@ -1,0 +1,123 @@
+#ifndef CDES_PARAMS_PARAM_EXPR_H_
+#define CDES_PARAMS_PARAM_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/status.h"
+
+namespace cdes {
+
+/// A parameter value. The paper's commonly relevant parameters — task ids,
+/// database keys, other unique ids (§5) — are all representable as 64-bit
+/// tokens here.
+using ParamValue = int64_t;
+
+/// An assignment of values to parameter variables.
+using Binding = std::map<std::string, ParamValue>;
+
+/// A parameter term: a named variable or a constant value.
+class PTerm {
+ public:
+  static PTerm Var(std::string name) {
+    PTerm t;
+    t.var_ = std::move(name);
+    return t;
+  }
+  static PTerm Val(ParamValue value) {
+    PTerm t;
+    t.value_ = value;
+    return t;
+  }
+
+  bool is_var() const { return !var_.empty(); }
+  const std::string& var() const { return var_; }
+  ParamValue value() const { return value_; }
+
+  /// The term with `binding` applied (variables not in the binding stay).
+  PTerm Substitute(const Binding& binding) const;
+
+  friend bool operator==(const PTerm&, const PTerm&) = default;
+
+ private:
+  std::string var_;
+  ParamValue value_ = 0;
+};
+
+/// A parametrized event atom e[t1, ..., tn] or its complement (§5 extends
+/// the syntax of E and T by "parametrizing event atoms by attaching a tuple
+/// of all relevant parameters").
+struct PAtom {
+  std::string event;
+  bool complemented = false;
+  std::vector<PTerm> args;
+
+  PAtom Substitute(const Binding& binding) const;
+  bool IsGround() const;
+  /// Variables appearing in the args.
+  std::set<std::string> Vars() const;
+
+  /// The mangled ground name "e[3,7]"; the atom must be ground.
+  std::string GroundName() const;
+
+  friend bool operator==(const PAtom&, const PAtom&) = default;
+};
+
+/// Attempts to unify this ground occurrence (event name + polarity + ground
+/// args) with `pattern`; on success extends `binding` (which must remain
+/// consistent) and returns true.
+bool UnifyAtom(const PAtom& pattern, const std::string& event,
+               bool complemented, const std::vector<ParamValue>& args,
+               Binding* binding);
+
+/// A parametrized event expression — the value-semantics template
+/// counterpart of Expr, with PAtom leaves. Workflow templates (Example 12)
+/// and inter-workflow constraints (Example 13) are written in this form and
+/// grounded to plain expressions per binding.
+class PExpr {
+ public:
+  enum class Kind { kZero, kTop, kAtom, kSeq, kOr, kAnd };
+
+  static PExpr Zero() { return PExpr(Kind::kZero); }
+  static PExpr Top() { return PExpr(Kind::kTop); }
+  static PExpr Atom(PAtom atom);
+  static PExpr Seq(std::vector<PExpr> children);
+  static PExpr Or(std::vector<PExpr> children);
+  static PExpr And(std::vector<PExpr> children);
+
+  Kind kind() const { return kind_; }
+  const PAtom& atom() const { return atom_; }
+  const std::vector<PExpr>& children() const { return children_; }
+
+  PExpr Substitute(const Binding& binding) const;
+  bool IsGround() const;
+  std::set<std::string> FreeVars() const;
+  /// All atoms in the template (pre-order).
+  std::vector<PAtom> Atoms() const;
+
+  /// Interns ground atom names ("e[1]") into `alphabet` and builds the
+  /// plain expression. Fails (FailedPrecondition) unless ground.
+  Result<const Expr*> Ground(Alphabet* alphabet, ExprArena* arena) const;
+
+ private:
+  explicit PExpr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  PAtom atom_;
+  std::vector<PExpr> children_;
+};
+
+/// Example 13's mutual-exclusion dependency: if T1 enters its critical
+/// section before T2, then T1 exits before T2 enters:
+///   b2[y]·b1[x] + ē1[x] + b̄2[y] + e1[x]·b2[y]
+/// where b_i / e_i are the enter/exit events of task i.
+PExpr MutualExclusionDependency(const std::string& b1, const std::string& e1,
+                                const std::string& b2, const std::string& e2);
+
+}  // namespace cdes
+
+#endif  // CDES_PARAMS_PARAM_EXPR_H_

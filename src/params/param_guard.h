@@ -1,0 +1,119 @@
+#ifndef CDES_PARAMS_PARAM_GUARD_H_
+#define CDES_PARAMS_PARAM_GUARD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "guards/context.h"
+#include "params/param_expr.h"
+#include "temporal/reduction.h"
+
+namespace cdes {
+
+/// A parametrized temporal guard template — the value-semantics counterpart
+/// of Guard with PAtom leaves (e.g. Example 14's ¬f[y] + □g[y]).
+class PGuard {
+ public:
+  enum class Kind { kFalse, kTrue, kBox, kNeg, kDiamond, kAnd, kOr };
+
+  static PGuard False() { return PGuard(Kind::kFalse); }
+  static PGuard True() { return PGuard(Kind::kTrue); }
+  static PGuard Box(PAtom atom);
+  static PGuard Neg(PAtom atom);
+  static PGuard Diamond(PExpr expr);
+  static PGuard And(std::vector<PGuard> children);
+  static PGuard Or(std::vector<PGuard> children);
+
+  Kind kind() const { return kind_; }
+  const PAtom& atom() const { return atom_; }
+  const PExpr& expr() const { return expr_; }
+  const std::vector<PGuard>& children() const { return children_; }
+
+  PGuard Substitute(const Binding& binding) const;
+  std::set<std::string> FreeVars() const;
+  /// All atoms (Box/Neg leaves and Diamond expression atoms).
+  std::vector<PAtom> Atoms() const;
+
+  /// Grounds into the context's guard arena; fails unless ground.
+  Result<const Guard*> Ground(WorkflowContext* ctx) const;
+
+ private:
+  explicit PGuard(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  PAtom atom_;
+  PExpr expr_ = PExpr::Top();
+  std::vector<PGuard> children_;
+};
+
+/// The unbound parameters of a guard are universally quantified (§5.2).
+/// ParamGuardInstance tracks one parametrized event instance's guard as
+/// occurrences arrive, per Example 14:
+///
+///   Guard template on e[x]: ¬f[y] + □g[y], y free.
+///   Initially no f[ŷ] has occurred: the guard holds for all y; e may go.
+///   f[ŷ] occurs: an instance ŷ materializes with reduced guard □g[ŷ];
+///   e must wait ("the guard grows").
+///   g[ŷ] occurs: instance ŷ reduces to ⊤; e is enabled again
+///   ("the guard is resurrected").
+///
+/// Enabledness = the fresh-instance template holds vacuously AND every
+/// materialized instance's reduced guard licenses occurrence now.
+///
+/// Restriction (checked at Create): every template atom must carry the full
+/// free-variable tuple, so a single ground occurrence determines the
+/// instance it affects. Example 13 and Example 14 templates satisfy this.
+class ParamGuardInstance {
+ public:
+  static Result<ParamGuardInstance> Create(WorkflowContext* ctx,
+                                           PGuard guard_template);
+
+  /// Assimilates a ground occurrence (or promise) of `event`[args].
+  Status OnAnnouncement(const std::string& event, bool complemented,
+                        const std::vector<ParamValue>& args,
+                        AnnouncementKind kind = AnnouncementKind::kOccurred);
+
+  /// Whether the guarded event may occur now (all instances licensed).
+  bool EnabledNow() const;
+
+  /// Number of materialized instances whose guard does not currently
+  /// license occurrence ("blocking" instances).
+  size_t blocking_instance_count() const;
+
+  /// Number of live instances. Instances whose guard has reduced to the
+  /// constant ⊤ can never block again and are garbage-collected (their
+  /// effect is replayed from the announcement log if the binding
+  /// re-materializes), so long-running loops hold O(live) state.
+  size_t instance_count() const { return instances_.size(); }
+
+  /// The reduced guard of the instance keyed by the free-var tuple (in
+  /// sorted variable-name order), or nullptr.
+  const Guard* InstanceGuard(const std::vector<ParamValue>& key) const;
+
+  const std::vector<std::string>& free_vars() const { return free_vars_; }
+
+ private:
+  ParamGuardInstance(WorkflowContext* ctx, PGuard guard_template,
+                     std::vector<std::string> free_vars);
+
+  struct LoggedAnnouncement {
+    uint64_t seq;
+    EventLiteral literal;
+    AnnouncementKind kind;
+  };
+
+  WorkflowContext* ctx_;
+  PGuard template_;
+  std::vector<std::string> free_vars_;
+  std::map<std::vector<ParamValue>, const Guard*> instances_;
+  /// Announcements seen, indexed by ground symbol and stamped with arrival
+  /// order; replayed (merged by seq) onto instances that materialize late,
+  /// so materialization costs O(relevant announcements), not O(history).
+  std::map<SymbolId, std::vector<LoggedAnnouncement>> history_;
+  uint64_t history_seq_ = 0;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_PARAMS_PARAM_GUARD_H_

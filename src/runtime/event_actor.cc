@@ -1,0 +1,576 @@
+#include "runtime/event_actor.h"
+
+#include <algorithm>
+
+#include "algebra/semantics.h"
+#include "temporal/reduction.h"
+
+namespace cdes {
+namespace {
+
+// Collects the literals a reduced guard still waits on: literals under ◇
+// (satisfiable by promises or occurrences), each paired with the residual
+// expression it appears in, and □ literals (satisfiable only by
+// occurrences).
+void CollectExprAtoms(const Expr* e, std::set<EventLiteral>* out) {
+  if (e->IsAtom()) {
+    out->insert(e->literal());
+    return;
+  }
+  for (const Expr* c : e->children()) CollectExprAtoms(c, out);
+}
+
+void CollectNeedsWithContext(
+    const Guard* g, std::map<EventLiteral, const Expr*>* diamond_needs,
+    std::set<EventLiteral>* box_needs) {
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+    case GuardKind::kTrue:
+    case GuardKind::kNeg:
+      return;
+    case GuardKind::kBox:
+      box_needs->insert(g->literal());
+      return;
+    case GuardKind::kDiamond: {
+      // Every literal mentioned in the residual can help discharge it.
+      std::set<EventLiteral> atoms;
+      CollectExprAtoms(g->expr(), &atoms);
+      for (EventLiteral l : atoms) diamond_needs->emplace(l, g->expr());
+      return;
+    }
+    case GuardKind::kAnd:
+    case GuardKind::kOr:
+      for (const Guard* c : g->children()) {
+        CollectNeedsWithContext(c, diamond_needs, box_needs);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+void CollectGuardNeeds(const Guard* g, std::set<EventLiteral>* diamond_needs,
+                       std::set<EventLiteral>* box_needs) {
+  std::map<EventLiteral, const Expr*> with_context;
+  CollectNeedsWithContext(g, &with_context, box_needs);
+  for (const auto& [literal, expr] : with_context) {
+    diamond_needs->insert(literal);
+  }
+}
+
+std::set<EventLiteral> ImpliedBoxes(const Guard* g) {
+  switch (g->kind()) {
+    case GuardKind::kBox:
+      return {g->literal()};
+    case GuardKind::kAnd: {
+      std::set<EventLiteral> out;
+      for (const Guard* c : g->children()) {
+        std::set<EventLiteral> inner = ImpliedBoxes(c);
+        out.insert(inner.begin(), inner.end());
+      }
+      return out;
+    }
+    case GuardKind::kOr: {
+      // Only □-atoms common to every disjunct are guaranteed.
+      bool first = true;
+      std::set<EventLiteral> out;
+      for (const Guard* c : g->children()) {
+        std::set<EventLiteral> inner = ImpliedBoxes(c);
+        if (first) {
+          out = std::move(inner);
+          first = false;
+        } else {
+          std::set<EventLiteral> merged;
+          for (EventLiteral l : out) {
+            if (inner.count(l)) merged.insert(l);
+          }
+          out = std::move(merged);
+        }
+        if (out.empty()) return out;
+      }
+      return out;
+    }
+    default:
+      return {};
+  }
+}
+
+bool EventActor::EvaluateNow(const Guard* g) {
+  switch (g->kind()) {
+    case GuardKind::kTrue:
+      return true;
+    case GuardKind::kFalse:
+      return false;
+    case GuardKind::kNeg:
+      // Unreduced ¬ℓ means ℓ has not been heard: true at this instant.
+      return true;
+    case GuardKind::kBox:
+    case GuardKind::kDiamond:
+      // Unreduced □/◇ means the occurrence / guarantee is not yet known.
+      return false;
+    case GuardKind::kAnd:
+      for (const Guard* c : g->children()) {
+        if (!EvaluateNow(c)) return false;
+      }
+      return true;
+    case GuardKind::kOr:
+      for (const Guard* c : g->children()) {
+        if (EvaluateNow(c)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+EventActor::EventActor(ActorHost* host, SymbolId symbol, int site,
+                       const Guard* positive_guard,
+                       const Guard* negative_guard,
+                       const EventAttributes& positive_attrs,
+                       const EventAttributes& negative_attrs)
+    : host_(host), symbol_(symbol), site_(site),
+      positive_guard_(positive_guard), negative_guard_(negative_guard),
+      positive_attrs_(positive_attrs), negative_attrs_(negative_attrs) {}
+
+const Guard* EventActor::CurrentGuard(EventLiteral literal) const {
+  const Guard* g = CompiledGuard(literal);
+  // Occurrences must be assimilated in stamp order for ◇E residuation to be
+  // sound; heard_ is kept sorted by stamp.
+  for (const auto& [stamp, occurred] : heard_) {
+    g = ReduceGuard(host_->guard_arena(), host_->residuator(), g,
+                    {AnnouncementKind::kOccurred, occurred});
+  }
+  for (const auto& [promised, after] : promises_) {
+    g = ReduceGuard(host_->guard_arena(), host_->residuator(), g,
+                    {AnnouncementKind::kPromised, promised});
+  }
+  return DischargeDiamonds(g);
+}
+
+const Guard* EventActor::DischargeDiamonds(const Guard* g) const {
+  if (promises_.empty()) return g;
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+    case GuardKind::kTrue:
+    case GuardKind::kBox:
+    case GuardKind::kNeg:
+      return g;
+    case GuardKind::kDiamond: {
+      const Expr* e = g->expr();
+      // The promised literals that matter: those the residual mentions.
+      std::set<EventLiteral> expr_atoms;
+      CollectExprAtoms(e, &expr_atoms);
+      std::vector<EventLiteral> relevant;
+      for (const auto& [promised, after] : promises_) {
+        if (expr_atoms.count(promised)) relevant.push_back(promised);
+      }
+      if (relevant.empty()) return g;
+      // Pure sequence fast path (chains of any length): e1·…·ek is
+      // guaranteed iff every atom is promised and each step is ordered
+      // after its predecessor by the promises' after-sets.
+      if (e->kind() == ExprKind::kSeq || e->IsAtom()) {
+        std::vector<EventLiteral> seq_atoms;
+        bool pure = true;
+        if (e->IsAtom()) {
+          seq_atoms.push_back(e->literal());
+        } else {
+          for (const Expr* c : e->children()) {
+            if (!c->IsAtom()) {
+              pure = false;
+              break;
+            }
+            seq_atoms.push_back(c->literal());
+          }
+        }
+        if (pure) {
+          bool guaranteed = true;
+          for (size_t i = 0; i < seq_atoms.size() && guaranteed; ++i) {
+            auto it = promises_.find(seq_atoms[i]);
+            if (it == promises_.end()) {
+              guaranteed = false;
+              break;
+            }
+            if (i > 0 && !it->second.count(seq_atoms[i - 1])) {
+              guaranteed = false;
+            }
+          }
+          if (guaranteed) return host_->guard_arena()->True();
+          return g;
+        }
+      }
+      if (relevant.size() > 6) return g;
+      // The real future realizes the promised events in SOME order
+      // consistent with their after-sets; E is guaranteed only if every
+      // such linearization satisfies it (satisfaction is monotone under
+      // inserting unrelated events, so checking the promised events alone
+      // is conservative).
+      std::sort(relevant.begin(), relevant.end());
+      bool any_consistent = false;
+      bool all_satisfy = true;
+      Trace perm(relevant.begin(), relevant.end());
+      do {
+        bool consistent = true;
+        for (size_t i = 0; i < perm.size() && consistent; ++i) {
+          for (EventLiteral before : promises_.at(perm[i])) {
+            // An after-constraint on another promised event must be
+            // respected within the permutation; constraints on occurred or
+            // unknown events do not affect relative order here.
+            for (size_t j = i + 1; j < perm.size(); ++j) {
+              if (perm[j] == before) {
+                consistent = false;
+                break;
+              }
+            }
+            if (!consistent) break;
+          }
+        }
+        if (!consistent) continue;
+        any_consistent = true;
+        if (!Satisfies(perm, e)) {
+          all_satisfy = false;
+          break;
+        }
+      } while (std::next_permutation(perm.begin(), perm.end()));
+      if (any_consistent && all_satisfy) return host_->guard_arena()->True();
+      return g;
+    }
+    case GuardKind::kAnd:
+    case GuardKind::kOr: {
+      std::vector<const Guard*> kids;
+      kids.reserve(g->children().size());
+      for (const Guard* c : g->children()) {
+        kids.push_back(DischargeDiamonds(c));
+      }
+      return g->kind() == GuardKind::kAnd ? host_->guard_arena()->And(kids)
+                                          : host_->guard_arena()->Or(kids);
+    }
+  }
+  return g;
+}
+
+void EventActor::Attempt(EventLiteral literal, AttemptCallback done) {
+  CDES_CHECK_EQ(literal.symbol(), symbol_);
+  if (decided_) {
+    if (done) done(literal == *decided_ ? Decision::kAccepted
+                                        : Decision::kRejected);
+    return;
+  }
+  const Guard* g = CurrentGuard(literal);
+  if (EvaluateNow(g)) {
+    Occur(literal);
+    if (done) done(Decision::kAccepted);
+    return;
+  }
+  const EventAttributes& attrs = Attrs(literal);
+  if (g->IsFalse()) {
+    if (attrs.rejectable) {
+      if (done) done(Decision::kRejected);
+    } else {
+      // §3.3: "The scheduler has no choice but to accept nonrejectable
+      // events like abort."
+      host_->RecordViolation(literal);
+      Occur(literal);
+      if (done) done(Decision::kAccepted);
+    }
+    return;
+  }
+  if (!attrs.delayable) {
+    if (attrs.rejectable) {
+      if (done) done(Decision::kRejected);
+    } else {
+      host_->RecordViolation(literal);
+      Occur(literal);
+      if (done) done(Decision::kAccepted);
+    }
+    return;
+  }
+  if (done) done(Decision::kParked);
+  parked_.push_back(Parked{literal, std::move(done)});
+  EmitNeeds(literal, g);
+  Reevaluate();
+}
+
+std::vector<EventLiteral> EventActor::ParkedLiterals() const {
+  std::vector<EventLiteral> out;
+  out.reserve(parked_.size());
+  for (const Parked& p : parked_) out.push_back(p.literal);
+  return out;
+}
+
+void EventActor::RestoreOccurrence(EventLiteral literal) {
+  CDES_CHECK_EQ(literal.symbol(), symbol_);
+  CDES_CHECK(!decided_);
+  CDES_CHECK(parked_.empty()) << "recovery must precede new attempts";
+  decided_ = literal;
+}
+
+void EventActor::Receive(const RuntimeMessage& msg) {
+  switch (msg.kind) {
+    case RuntimeMessageKind::kAnnounce: {
+      auto entry = std::make_pair(msg.stamp, msg.literal);
+      heard_.insert(
+          std::upper_bound(heard_.begin(), heard_.end(), entry), entry);
+      ReviewObligations();
+      Reevaluate();
+      return;
+    }
+    case RuntimeMessageKind::kPromise: {
+      std::set<EventLiteral>& after = promises_[msg.literal];
+      after.insert(msg.after.begin(), msg.after.end());
+      Reevaluate();
+      return;
+    }
+    case RuntimeMessageKind::kRequestPromise:
+      if (decided_) return;  // the announcement (or nothing) answers it
+      if (!TryAnswerPromiseRequest(msg)) pending_requests_.push_back(msg);
+      return;
+    case RuntimeMessageKind::kTrigger: {
+      if (decided_) return;
+      for (const Parked& p : parked_) {
+        if (p.literal == msg.literal) return;  // already attempted
+      }
+      Attempt(msg.literal, AttemptCallback());
+      return;
+    }
+  }
+}
+
+void EventActor::Occur(EventLiteral literal) {
+  CDES_CHECK(!decided_);
+  decided_ = literal;
+  OccurrenceStamp stamp = host_->NextStamp();
+  host_->RecordOccurrence(literal, stamp);
+  RuntimeMessage announce{RuntimeMessageKind::kAnnounce, literal, stamp,
+                          EventLiteral(), {}, nullptr, {}};
+  host_->Broadcast(symbol_, announce);
+  // Resolve remaining parked attempts: same literal is (already) accepted,
+  // the opposite literal can never occur.
+  std::vector<Parked> parked = std::move(parked_);
+  parked_.clear();
+  for (Parked& p : parked) {
+    if (!p.done) continue;
+    p.done(p.literal == literal ? Decision::kAccepted : Decision::kRejected);
+  }
+  pending_requests_.clear();
+}
+
+void EventActor::Reevaluate() {
+  if (reevaluating_) return;
+  reevaluating_ = true;
+  bool changed = true;
+  while (changed && !decided_) {
+    changed = false;
+    for (size_t i = 0; i < parked_.size(); ++i) {
+      const Guard* g = CurrentGuard(parked_[i].literal);
+      if (EvaluateNow(g)) {
+        Parked p = std::move(parked_[i]);
+        parked_.erase(parked_.begin() + i);
+        Occur(p.literal);
+        if (p.done) p.done(Decision::kAccepted);
+        changed = true;
+        break;  // decided_: remaining parked resolved by Occur
+      }
+      if (g->IsFalse()) {
+        Parked p = std::move(parked_[i]);
+        parked_.erase(parked_.begin() + i);
+        if (Attrs(p.literal).rejectable) {
+          if (p.done) p.done(Decision::kRejected);
+        } else {
+          host_->RecordViolation(p.literal);
+          Occur(p.literal);
+          if (p.done) p.done(Decision::kAccepted);
+        }
+        changed = true;
+        break;
+      }
+      EmitNeeds(parked_[i].literal, g);
+    }
+    if (decided_) break;
+    for (size_t i = 0; i < pending_requests_.size(); ++i) {
+      if (TryAnswerPromiseRequest(pending_requests_[i])) {
+        pending_requests_.erase(pending_requests_.begin() + i);
+        changed = true;
+        break;
+      }
+    }
+  }
+  reevaluating_ = false;
+}
+
+void EventActor::EmitNeeds(EventLiteral parked, const Guard* reduced) {
+  std::map<EventLiteral, const Expr*> diamond_needs;
+  std::set<EventLiteral> box_needs;
+  CollectNeedsWithContext(reduced, &diamond_needs, &box_needs);
+  if (host_->PromisesEnabled()) {
+    std::set<EventLiteral> implied_set = ImpliedBoxes(reduced);
+    std::vector<EventLiteral> implied(implied_set.begin(),
+                                      implied_set.end());
+    for (const auto& [need, residual] : diamond_needs) {
+      auto key = std::make_pair(need, parked);
+      if (requests_sent_.count(key)) continue;
+      requests_sent_.insert(key);
+      RuntimeMessage request{RuntimeMessageKind::kRequestPromise, need,
+                             OccurrenceStamp{}, parked, {}, residual,
+                             implied};
+      host_->SendTo(symbol_, need.symbol(), request);
+    }
+  }
+  std::set<EventLiteral> trigger_needs = box_needs;
+  for (const auto& [need, residual] : diamond_needs) {
+    trigger_needs.insert(need);
+  }
+  for (EventLiteral need : trigger_needs) {
+    if (!host_->MayTrigger(need)) continue;
+    if (triggers_sent_.count(need)) continue;
+    // Trigger only *necessary* events: if the guard could still be
+    // discharged were `need` never to occur (hypothetically announce its
+    // complement), leave it to the workload — the paper's scheduler causes
+    // events "when necessary" (Example 4).
+    const Guard* without = ReduceGuard(
+        host_->guard_arena(), host_->residuator(), reduced,
+        {AnnouncementKind::kOccurred, need.Complemented()});
+    if (!without->IsFalse()) continue;
+    triggers_sent_.insert(need);
+    RuntimeMessage trigger{RuntimeMessageKind::kTrigger, need,
+                           OccurrenceStamp{}, EventLiteral(), {}, nullptr, {}};
+    host_->SendTo(symbol_, need.symbol(), trigger);
+  }
+}
+
+bool EventActor::TryAnswerPromiseRequest(const RuntimeMessage& request) {
+  // We can promise ◇x for our parked attempt x when, once the requester's
+  // event has occurred, nothing else blocks x — then x is certain to
+  // follow the requester (Example 11's conditional promise: the requester
+  // proceeds on the promise, and its occurrence discharges it). The
+  // hypothetical must reduce to the constant ⊤: a guard that still rests
+  // on ¬-atoms could be invalidated before x fires, breaking the promise.
+  for (const Parked& p : parked_) {
+    if (p.literal != request.literal) continue;
+    auto made = std::make_pair(p.literal, request.requester.symbol());
+    if (promises_made_.count(made)) return true;
+    const Guard* current = CurrentGuard(p.literal);
+    // The requester's occurrence implies its own □-obligations occurred
+    // first; assume them (in that order) in the hypothetical.
+    const Guard* hypothetical = current;
+    for (EventLiteral implied : request.implied) {
+      hypothetical =
+          ReduceGuard(host_->guard_arena(), host_->residuator(), hypothetical,
+                      {AnnouncementKind::kOccurred, implied});
+    }
+    hypothetical = ReduceGuard(
+        host_->guard_arena(), host_->residuator(), hypothetical,
+        {AnnouncementKind::kOccurred, request.requester});
+    // Re-apply held promises: the hypothetical occurrences may have
+    // residuated a ◇-sequence down to something the promises we already
+    // hold can discharge (e.g. ◇(ev2·ev1)/ev2 = ◇ev1 with ◇ev1 in hand).
+    for (const auto& [promised, after] : promises_) {
+      hypothetical =
+          ReduceGuard(host_->guard_arena(), host_->residuator(), hypothetical,
+                      {AnnouncementKind::kPromised, promised});
+    }
+    hypothetical = DischargeDiamonds(hypothetical);
+    // Optimistic grant (EvaluateNow rather than the constant ⊤): residual
+    // ¬-atoms are tolerated because, for synthesized guards, an event that
+    // could falsify them is itself ordered after us (the verifier's
+    // race-freedom property); residual ◇/□-atoms still block the grant.
+    if (!EvaluateNow(hypothetical)) return false;
+    promises_made_.insert(made);
+    // The promise carries order guarantees: our □-obligations and the
+    // requester necessarily precede our occurrence.
+    std::set<EventLiteral> after = ImpliedBoxes(current);
+    after.insert(request.requester);
+    RuntimeMessage promise{RuntimeMessageKind::kPromise, p.literal,
+                           OccurrenceStamp{}, EventLiteral(),
+                           std::vector<EventLiteral>(after.begin(),
+                                                     after.end()),
+                           nullptr,
+                           {}};
+    host_->SendTo(symbol_, request.requester.symbol(), promise);
+    // Forward held promises the requester's residual also depends on, so
+    // ordered chains (◇(b·c) at the requester) can discharge.
+    if (request.need != nullptr) {
+      std::set<EventLiteral> need_atoms;
+      CollectExprAtoms(request.need, &need_atoms);
+      for (const auto& [held, held_after] : promises_) {
+        if (!need_atoms.count(held)) continue;
+        RuntimeMessage forward{RuntimeMessageKind::kPromise, held,
+                               OccurrenceStamp{}, EventLiteral(),
+                               std::vector<EventLiteral>(held_after.begin(),
+                                                         held_after.end()),
+                               nullptr,
+                               {}};
+        host_->SendTo(symbol_, request.requester.symbol(), forward);
+      }
+    }
+    return true;
+  }
+  // Trigger-backed path: a triggerable event the scheduler may cause on
+  // its own accord can promise itself, deferring the actual trigger until
+  // the requester's residual has no other way to be satisfied (the lazy
+  // "when necessary" of Example 4: don't cancel a booking that may yet be
+  // paid for).
+  if (request.need != nullptr && !request.literal.complemented() &&
+      host_->MayTrigger(request.literal)) {
+    auto made = std::make_pair(request.literal, request.requester.symbol());
+    if (promises_made_.count(made)) return true;
+    const Guard* current = CurrentGuard(request.literal);
+    const Guard* hypothetical =
+        ReduceGuard(host_->guard_arena(), host_->residuator(), current,
+                    {AnnouncementKind::kOccurred, request.requester});
+    if (!hypothetical->IsTrue()) return false;
+    std::set<EventLiteral> after = ImpliedBoxes(current);
+    after.insert(request.requester);
+    promises_made_.insert(made);
+    // Bring the requester's residual up to date with what we already
+    // heard, in stamp order.
+    const Expr* residual = request.need;
+    for (const auto& [stamp, occurred] : heard_) {
+      residual = host_->residuator()->Residuate(residual, occurred);
+    }
+    obligations_.emplace_back(residual, request.literal);
+    RuntimeMessage promise{RuntimeMessageKind::kPromise, request.literal,
+                           OccurrenceStamp{}, EventLiteral(),
+                           std::vector<EventLiteral>(after.begin(),
+                                                     after.end()),
+                           nullptr,
+                           {}};
+    host_->SendTo(symbol_, request.requester.symbol(), promise);
+    ReviewObligations();
+    return true;
+  }
+  return false;
+}
+
+void EventActor::ReviewObligations() {
+  if (obligations_.empty()) return;
+  // Update residuals against everything heard (recomputing from scratch is
+  // unnecessary: residuate by the latest only — but announcements arrive
+  // one at a time through Receive, which re-residuates below).
+  std::vector<std::pair<const Expr*, EventLiteral>> remaining;
+  std::vector<EventLiteral> to_trigger;
+  for (auto [residual, literal] : obligations_) {
+    // Fold in all heard occurrences (idempotent: residuation by an already
+    // consumed symbol leaves 0/⊤ fixed and others unchanged or dead).
+    for (const auto& [stamp, occurred] : heard_) {
+      residual = host_->residuator()->Residuate(residual, occurred);
+    }
+    if (residual->IsTop()) continue;  // some alternative materialized
+    if (decided_) continue;           // our symbol is settled either way
+    const Expr* without_us = PruneImpossibleLiteral(
+        host_->residuator()->arena(), residual, literal);
+    bool necessary = !IsSatisfiable(host_->residuator(), without_us);
+    if (necessary) {
+      to_trigger.push_back(literal);
+    } else {
+      remaining.emplace_back(residual, literal);
+    }
+  }
+  obligations_ = std::move(remaining);
+  for (EventLiteral literal : to_trigger) {
+    if (decided_) break;
+    bool already_parked = false;
+    for (const Parked& p : parked_) already_parked |= (p.literal == literal);
+    if (!already_parked) Attempt(literal, AttemptCallback());
+  }
+}
+
+}  // namespace cdes

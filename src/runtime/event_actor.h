@@ -1,0 +1,185 @@
+#ifndef CDES_RUNTIME_EVENT_ACTOR_H_
+#define CDES_RUNTIME_EVENT_ACTOR_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "algebra/residuation.h"
+#include "runtime/messages.h"
+#include "sched/scheduler.h"
+#include "spec/ast.h"
+#include "temporal/guard.h"
+
+namespace cdes {
+
+/// Services an EventActor needs from its owning scheduler: message
+/// transport, occurrence stamping, bookkeeping, and attribute lookup.
+class ActorHost {
+ public:
+  virtual ~ActorHost() = default;
+
+  /// Delivers `msg` to every actor whose guards mention `from`'s symbol.
+  virtual void Broadcast(SymbolId from, const RuntimeMessage& msg) = 0;
+
+  /// Delivers `msg` to the actor owning `target`'s symbol.
+  virtual void SendTo(SymbolId from, SymbolId target,
+                      const RuntimeMessage& msg) = 0;
+
+  /// Issues the next occurrence stamp (monotone in simulation time).
+  virtual OccurrenceStamp NextStamp() = 0;
+
+  /// Appends an occurrence to the global history.
+  virtual void RecordOccurrence(EventLiteral literal,
+                                OccurrenceStamp stamp) = 0;
+
+  /// Records that a non-rejectable event had to be admitted although its
+  /// guard had not been established.
+  virtual void RecordViolation(EventLiteral literal) = 0;
+
+  /// Whether the runtime may proactively trigger `literal` (§2: "When
+  /// triggered by the system, it causes appropriate events like start").
+  virtual bool MayTrigger(EventLiteral literal) const = 0;
+
+  /// Whether the promise protocol (Example 11) is enabled.
+  virtual bool PromisesEnabled() const = 0;
+
+  virtual GuardArena* guard_arena() = 0;
+  virtual Residuator* residuator() = 0;
+};
+
+/// The active entity instantiated for each event type (§2): maintains the
+/// current guards of an event symbol's two literals, parks attempts whose
+/// guard is not yet ⊤, assimilates incoming announcements and promises, and
+/// answers promise requests.
+///
+/// Assimilation model: the actor keeps the *compiled* guards plus an
+/// occurrence log sorted by stamp; the current guard is the compiled guard
+/// reduced by the log in stamp order and then by received promises. Sorting
+/// by stamp (not arrival) is what keeps ◇E residuation sound when the
+/// network reorders announcements.
+class EventActor {
+ public:
+  EventActor(ActorHost* host, SymbolId symbol, int site,
+             const Guard* positive_guard, const Guard* negative_guard,
+             const EventAttributes& positive_attrs,
+             const EventAttributes& negative_attrs);
+
+  EventActor(const EventActor&) = delete;
+  EventActor& operator=(const EventActor&) = delete;
+
+  /// A co-located task agent attempts `literal`.
+  void Attempt(EventLiteral literal, AttemptCallback done);
+
+  /// Recovery: marks `literal` as having occurred without stamping,
+  /// logging, or announcing (the recovery driver replays announcements
+  /// separately, in stamp order).
+  void RestoreOccurrence(EventLiteral literal);
+
+  /// Handles a message from another actor.
+  void Receive(const RuntimeMessage& msg);
+
+  /// The literal's guard reduced by everything this actor knows.
+  const Guard* CurrentGuard(EventLiteral literal) const;
+
+  /// Whether a reduced guard licenses occurrence *now*: ¬ℓ atoms count as
+  /// true while ℓ is unheard (the event has not yet occurred), whereas
+  /// □/◇ atoms require positive knowledge (an announcement or a promise).
+  /// This optimistic ¬-evaluation is the per-event agreement the paper
+  /// flags in §4.3; see DESIGN.md for the soundness discussion.
+  static bool EvaluateNow(const Guard* g);
+
+  bool decided() const { return decided_.has_value(); }
+  std::optional<EventLiteral> decided_literal() const { return decided_; }
+  size_t parked_count() const { return parked_.size(); }
+  /// Literals of currently parked attempts, in arrival order.
+  std::vector<EventLiteral> ParkedLiterals() const;
+  SymbolId symbol() const { return symbol_; }
+  int site() const { return site_; }
+
+ private:
+  struct Parked {
+    EventLiteral literal;
+    AttemptCallback done;
+  };
+
+  const Guard* CompiledGuard(EventLiteral literal) const {
+    return literal.complemented() ? negative_guard_ : positive_guard_;
+  }
+
+  /// Replaces ◇E nodes whose residual is guaranteed by the held ordered
+  /// promises with ⊤: every linearization of the promised events that is
+  /// consistent with their after-sets must satisfy E.
+  const Guard* DischargeDiamonds(const Guard* g) const;
+  const EventAttributes& Attrs(EventLiteral literal) const {
+    return literal.complemented() ? negative_attrs_ : positive_attrs_;
+  }
+
+  /// Makes `literal` occur: stamps, records, announces, resolves parked
+  /// attempts of both polarities.
+  void Occur(EventLiteral literal);
+
+  /// Re-evaluates parked attempts and pending promise requests after any
+  /// state change; loops to a fixpoint.
+  void Reevaluate();
+
+  /// Sends promise requests / triggers for the events the reduced guard of
+  /// a parked literal still needs.
+  void EmitNeeds(EventLiteral parked, const Guard* reduced);
+
+  /// Answers `request` if this actor can now promise; returns true when
+  /// consumed. Two grant paths: a parked attempt that is certain to follow
+  /// the requester (Example 11), or — for a triggerable event — a
+  /// trigger-backed promise that adopts the requester's residual as a
+  /// deferred obligation.
+  bool TryAnswerPromiseRequest(const RuntimeMessage& request);
+
+  /// Re-examines deferred trigger obligations after an announcement:
+  /// obligations whose residual is satisfied are dropped; obligations that
+  /// can only be met by this event any more cause a self-trigger.
+  void ReviewObligations();
+
+  ActorHost* host_;
+  SymbolId symbol_;
+  int site_;
+  const Guard* positive_guard_;
+  const Guard* negative_guard_;
+  EventAttributes positive_attrs_;
+  EventAttributes negative_attrs_;
+
+  std::optional<EventLiteral> decided_;
+  /// (stamp, literal) occurrences heard, kept sorted by stamp.
+  std::vector<std::pair<OccurrenceStamp, EventLiteral>> heard_;
+  /// Promises ◇ℓ received: literal → events guaranteed to precede it.
+  std::map<EventLiteral, std::set<EventLiteral>> promises_;
+  std::vector<Parked> parked_;
+  /// Promise requests we could not answer yet.
+  std::vector<RuntimeMessage> pending_requests_;
+  /// Dedup for outgoing requests (needed literal, requesting literal).
+  std::set<std::pair<EventLiteral, EventLiteral>> requests_sent_;
+  std::set<EventLiteral> triggers_sent_;
+  /// Literals of this symbol already promised, per requester symbol.
+  std::set<std::pair<EventLiteral, SymbolId>> promises_made_;
+  /// Residuals this (triggerable) event has promised to see satisfied:
+  /// (remaining residual, literal to trigger when it is the only way).
+  std::vector<std::pair<const Expr*, EventLiteral>> obligations_;
+  bool reevaluating_ = false;
+};
+
+/// Collects the literals a reduced guard still waits on: literals under ◇
+/// (satisfiable by promises or occurrences) into `diamond_needs` and □
+/// literals (satisfiable only by occurrences) into `box_needs`. Shared by
+/// the actor's need-emission and the scheduler diagnostics.
+void CollectGuardNeeds(const Guard* g, std::set<EventLiteral>* diamond_needs,
+                       std::set<EventLiteral>* box_needs);
+
+/// The literals guaranteed to have occurred before the guarded event can:
+/// the □-atoms every disjunct of `g` requires (And: union of children;
+/// Or: intersection). Attached to promises as order guarantees.
+std::set<EventLiteral> ImpliedBoxes(const Guard* g);
+
+}  // namespace cdes
+
+#endif  // CDES_RUNTIME_EVENT_ACTOR_H_

@@ -1,0 +1,69 @@
+#include "runtime/event_log.h"
+
+#include "common/strings.h"
+
+namespace cdes {
+namespace {
+
+constexpr char kHeader[] = "cdeslog v1";
+
+uint64_t Fnv1a(std::string_view text) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void EventLog::Append(const Record& record) {
+  if (!records_.empty()) {
+    CDES_CHECK(!(record.stamp < records_.back().stamp))
+        << "log stamps must be non-decreasing";
+  }
+  records_.push_back(record);
+}
+
+std::string EventLog::Serialize(const Alphabet& alphabet) const {
+  std::string body = StrCat(kHeader, "\n");
+  for (const Record& r : records_) {
+    body += StrCat(r.stamp.seq, " ", r.stamp.time, " ",
+                   alphabet.LiteralName(r.literal), "\n");
+  }
+  return StrCat(body, "checksum ", Fnv1a(body), "\n");
+}
+
+Result<EventLog> EventLog::Deserialize(const Alphabet& alphabet,
+                                       std::string_view text) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  // Allow (and drop) one trailing empty line.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.size() < 2 || lines.front() != kHeader) {
+    return Status::InvalidArgument("not a cdes event log");
+  }
+  std::string checksum_line = lines.back();
+  lines.pop_back();
+  std::string body;
+  for (const std::string& l : lines) body += l + "\n";
+  if (checksum_line != StrCat("checksum ", Fnv1a(body))) {
+    return Status::InvalidArgument("event log checksum mismatch");
+  }
+  EventLog log;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> fields = StrSplit(lines[i], ' ');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrCat("malformed log record at line ", i + 1));
+    }
+    Record record;
+    record.stamp.seq = std::stoull(fields[0]);
+    record.stamp.time = std::stoull(fields[1]);
+    CDES_ASSIGN_OR_RETURN(record.literal, alphabet.ParseLiteral(fields[2]));
+    log.Append(record);
+  }
+  return log;
+}
+
+}  // namespace cdes

@@ -1,0 +1,57 @@
+#ifndef CDES_RUNTIME_EVENT_LOG_H_
+#define CDES_RUNTIME_EVENT_LOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/event.h"
+#include "runtime/messages.h"
+
+namespace cdes {
+
+/// An append-only log of event occurrences, in stamp order.
+///
+/// §5.1 invokes Gray's operation-id logging [7]: recording uniquely
+/// identified events on persistent storage so that scheduler state can be
+/// rebuilt after a failure. The distributed scheduler can be pointed at an
+/// EventLog (GuardSchedulerOptions::durable_log); every occurrence is
+/// appended before it is announced, and GuardScheduler::Recover replays a
+/// log into a freshly built scheduler, reconstructing decided events,
+/// per-actor knowledge, and reduced guards exactly.
+///
+/// The serialized form is a line-oriented text format with a checksum
+/// trailer, standing in for an on-disk WAL.
+class EventLog {
+ public:
+  struct Record {
+    OccurrenceStamp stamp;
+    EventLiteral literal;
+
+    friend bool operator==(const Record&, const Record&) = default;
+  };
+
+  /// Appends one occurrence; stamps must be non-decreasing.
+  void Append(const Record& record);
+
+  const std::vector<Record>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  /// Renders the log: a header line, one "seq time literal" line per
+  /// record, and a checksum trailer.
+  std::string Serialize(const Alphabet& alphabet) const;
+
+  /// Parses a serialized log. Literal names must already be interned in
+  /// `alphabet` (recovery re-parses the workflow spec first). Fails on
+  /// format errors, unknown events, or checksum mismatch.
+  static Result<EventLog> Deserialize(const Alphabet& alphabet,
+                                      std::string_view text);
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_RUNTIME_EVENT_LOG_H_

@@ -1,0 +1,74 @@
+#ifndef CDES_RUNTIME_MESSAGES_H_
+#define CDES_RUNTIME_MESSAGES_H_
+
+#include <cstdint>
+
+#include "algebra/event.h"
+#include "algebra/expr.h"
+#include "sim/simulator.h"
+
+namespace cdes {
+
+/// Total-order stamp attached to every occurrence. The runtime assimilates
+/// occurrence announcements in stamp order, which is what makes the
+/// order-sensitive ◇E residuation sound under message reordering (§6: "the
+/// underlying execution mechanism should provide a consistent view of the
+/// temporal order of events"). In the simulator the stamp is the global
+/// occurrence instant plus a tie-breaking sequence number; a deployment
+/// would use Lamport clocks or a sequencer.
+struct OccurrenceStamp {
+  SimTime time = 0;
+  uint64_t seq = 0;
+
+  friend bool operator<(const OccurrenceStamp& a, const OccurrenceStamp& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+  friend bool operator==(const OccurrenceStamp&,
+                         const OccurrenceStamp&) = default;
+};
+
+/// Messages exchanged among event actors (§4.3).
+enum class RuntimeMessageKind {
+  /// □ℓ: `literal` occurred at `stamp`.
+  kAnnounce,
+  /// ◇ℓ: `literal` is promised to occur eventually (sent point-to-point to
+  /// the requester that the promise was validated against — Example 11).
+  kPromise,
+  /// The sender's parked event `requester` needs ◇`literal` (or □);
+  /// the receiver owns `literal`'s symbol and may answer with kPromise.
+  kRequestPromise,
+  /// Proactive triggering of a triggerable event (§2, §3.3): the receiver
+  /// should attempt `literal` on behalf of its agent.
+  kTrigger,
+};
+
+struct RuntimeMessage {
+  RuntimeMessageKind kind;
+  /// The event the message is about (announced / promised / requested /
+  /// triggered).
+  EventLiteral literal;
+  /// kAnnounce only: when the event occurred.
+  OccurrenceStamp stamp;
+  /// kRequestPromise only: the parked event that needs the promise.
+  EventLiteral requester;
+  /// kPromise only: events guaranteed to precede `literal` (the promiser's
+  /// own □-obligations plus the requester it conditioned on). Receivers use
+  /// these order guarantees to discharge ◇-sequences: ◇(b·c) needs not just
+  /// "b and c will occur" but "c after b" (see EventActor::CurrentGuard).
+  std::vector<EventLiteral> after;
+  /// kRequestPromise only: the residual expression under the requester's
+  /// blocking ◇, e.g. (c_buy + s_cancel). A triggerable receiver that
+  /// grants a promise adopts it as a deferred obligation: it triggers
+  /// itself only once the other alternatives of `need` have become
+  /// impossible (the lazy "when necessary" triggering of Example 4).
+  const Expr* need = nullptr;
+  /// kRequestPromise only: events the requester's own guard guarantees to
+  /// precede it (its □-atoms). A grantee may assume these occurred in its
+  /// conditional-promise hypothetical: e.g. in the chain a·b·c, c can
+  /// promise b ("◇c once you occur") because b's request carries a.
+  std::vector<EventLiteral> implied;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_RUNTIME_MESSAGES_H_

@@ -1,0 +1,37 @@
+#ifndef CDES_SCHED_DIAGNOSTICS_H_
+#define CDES_SCHED_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/guard_scheduler.h"
+
+namespace cdes {
+
+/// Operational introspection of a running distributed scheduler: what is
+/// parked, what each parked event is still waiting for, and which of those
+/// waits can still be met. Intended for operators debugging a stuck
+/// workflow, and used by tests to assert progress properties.
+struct ParkedDiagnosis {
+  /// The waiting event and its current (reduced) guard.
+  EventLiteral literal;
+  std::string guard;
+  /// Literals the guard still needs positive knowledge of (◇/□ atoms).
+  std::vector<EventLiteral> waiting_for;
+  /// True when some needed literal's symbol has been decided the other
+  /// way and no alternative remains: the event will eventually be
+  /// rejected, not enabled.
+  bool doomed = false;
+};
+
+/// Diagnoses every parked attempt in `scheduler`.
+std::vector<ParkedDiagnosis> DiagnoseParked(WorkflowContext* ctx,
+                                            GuardScheduler* scheduler);
+
+/// Human-readable rendering of a diagnosis set.
+std::string DiagnosisToString(const std::vector<ParkedDiagnosis>& diagnoses,
+                              const Alphabet& alphabet);
+
+}  // namespace cdes
+
+#endif  // CDES_SCHED_DIAGNOSTICS_H_

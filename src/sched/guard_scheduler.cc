@@ -1,0 +1,255 @@
+#include "sched/guard_scheduler.h"
+
+#include "algebra/semantics.h"
+#include "common/strings.h"
+
+namespace cdes {
+
+std::string DecisionToString(Decision d) {
+  switch (d) {
+    case Decision::kAccepted:
+      return "accepted";
+    case Decision::kRejected:
+      return "rejected";
+    case Decision::kParked:
+      return "parked";
+  }
+  return "unknown";
+}
+
+GuardScheduler::GuardScheduler(WorkflowContext* ctx,
+                               const ParsedWorkflow& workflow,
+                               Network* network,
+                               const GuardSchedulerOptions& options)
+    : ctx_(ctx), network_(network), options_(options) {
+  Status installed = AddInstance(workflow);
+  CDES_CHECK(installed.ok()) << installed;
+}
+
+Status GuardScheduler::AddInstance(const ParsedWorkflow& workflow) {
+  CompileOptions copts;
+  copts.simplify = options_.simplify_guards;
+  CompiledWorkflow compiled = CompileWorkflow(ctx_, workflow.spec, copts);
+  for (SymbolId symbol : compiled.symbols()) {
+    if (actors_.count(symbol)) {
+      return Status::AlreadyExists(StrCat(
+          "instance shares event symbol '", ctx_->alphabet()->Name(symbol),
+          "' with an installed instance; instances must be symbol-disjoint"));
+    }
+  }
+  impossible_ |= compiled.impossible();
+  for (const Dependency& dep : workflow.spec.dependencies()) {
+    spec_.Add(dep.name, dep.expr);
+  }
+  for (SymbolId symbol : compiled.symbols()) {
+    symbols_.insert(symbol);
+    int site = 0;
+    EventAttributes attrs;
+    const EventDecl* decl = workflow.FindEvent(symbol);
+    if (decl != nullptr) {
+      attrs = decl->attrs;
+      const AgentDecl* agent = workflow.FindAgent(decl->agent);
+      if (agent != nullptr) site = agent->site;
+    }
+    attrs_[symbol] = attrs;
+    EventLiteral pos = EventLiteral::Positive(symbol);
+    EventLiteral neg_lit = EventLiteral::Complement(symbol);
+    compiled_guards_[pos] = compiled.GuardFor(pos);
+    compiled_guards_[neg_lit] = compiled.GuardFor(neg_lit);
+    // The complement literal is scheduler bookkeeping ("e will never
+    // occur"): delayable and rejectable, never user-triggerable.
+    EventAttributes negative;
+    actors_[symbol] = std::make_unique<EventActor>(
+        this, symbol, site, compiled.GuardFor(pos), compiled.GuardFor(neg_lit),
+        attrs, negative);
+  }
+  // Static subscriptions: an actor hears about every symbol its guards
+  // mention (reduction can only shrink the mentioned set). Instances are
+  // symbol-disjoint, so new subscriptions never involve old actors.
+  for (SymbolId symbol : compiled.symbols()) {
+    std::set<SymbolId> mentioned =
+        GuardSymbols(compiled.GuardFor(EventLiteral::Positive(symbol)));
+    std::set<SymbolId> neg =
+        GuardSymbols(compiled.GuardFor(EventLiteral::Complement(symbol)));
+    mentioned.insert(neg.begin(), neg.end());
+    for (SymbolId m : mentioned) {
+      if (m != symbol) subscribers_[m].insert(symbol);
+    }
+  }
+  return Status::OK();
+}
+
+const Guard* GuardScheduler::CompiledGuardOf(EventLiteral literal) const {
+  auto it = compiled_guards_.find(literal);
+  return it == compiled_guards_.end() ? ctx_->guards()->True() : it->second;
+}
+
+void GuardScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
+  if (impossible_) {
+    // Some dependency is unsatisfiable: no event can ever be part of an
+    // acceptable computation.
+    if (done) done(Decision::kRejected);
+    return;
+  }
+  auto it = actors_.find(literal.symbol());
+  if (it == actors_.end()) {
+    // An event no dependency mentions is not significant for coordination
+    // (§2): it occurs immediately and is not recorded. (Recording it
+    // would also break trace validity for looping tasks, whose repeated
+    // internal events are exactly the insignificant ones — §5.2.)
+    if (done) done(Decision::kAccepted);
+    return;
+  }
+  EventActor* actor = it->second.get();
+  network_->sim()->Schedule(0, [actor, literal, done = std::move(done)] {
+    actor->Attempt(literal, done);
+  });
+}
+
+const Guard* GuardScheduler::CurrentGuardOf(EventLiteral literal) const {
+  auto it = actors_.find(literal.symbol());
+  if (it == actors_.end()) return CompiledGuardOf(literal);
+  return it->second->CurrentGuard(literal);
+}
+
+EventActor* GuardScheduler::actor(SymbolId symbol) {
+  auto it = actors_.find(symbol);
+  return it == actors_.end() ? nullptr : it->second.get();
+}
+
+size_t GuardScheduler::parked_count() const {
+  size_t n = 0;
+  for (const auto& [symbol, actor] : actors_) n += actor->parked_count();
+  return n;
+}
+
+void GuardScheduler::Close() {
+  for (SymbolId s : Undecided()) {
+    Attempt(EventLiteral::Complement(s), AttemptCallback());
+  }
+}
+
+std::vector<SymbolId> GuardScheduler::Undecided() const {
+  std::vector<SymbolId> out;
+  for (const auto& [symbol, actor] : actors_) {
+    if (!actor->decided()) out.push_back(symbol);
+  }
+  return out;
+}
+
+bool GuardScheduler::HistoryConsistent(bool require_satisfaction) const {
+  for (const Dependency& dep : spec_.dependencies()) {
+    const Expr* residual = ctx_->residuator()->ResiduateTrace(dep.expr,
+                                                              history_);
+    if (require_satisfaction) {
+      if (!residual->IsTop()) return false;
+    } else if (residual->IsZero()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void CountMessage(GuardSchedulerStats* stats, RuntimeMessageKind kind,
+                  uint64_t n = 1) {
+  switch (kind) {
+    case RuntimeMessageKind::kAnnounce:
+      stats->announcements += n;
+      break;
+    case RuntimeMessageKind::kPromise:
+      stats->promises += n;
+      break;
+    case RuntimeMessageKind::kRequestPromise:
+      stats->promise_requests += n;
+      break;
+    case RuntimeMessageKind::kTrigger:
+      stats->triggers += n;
+      break;
+  }
+}
+
+}  // namespace
+
+void GuardScheduler::Broadcast(SymbolId from, const RuntimeMessage& msg) {
+  auto it = subscribers_.find(from);
+  if (it == subscribers_.end()) return;
+  int src_site = actors_.at(from)->site();
+  for (SymbolId target : it->second) {
+    EventActor* actor = actors_.at(target).get();
+    CountMessage(&stats_, msg.kind);
+    network_->Send(src_site, actor->site(), options_.message_bytes,
+                   [actor, msg] { actor->Receive(msg); });
+  }
+}
+
+void GuardScheduler::SendTo(SymbolId from, SymbolId target,
+                            const RuntimeMessage& msg) {
+  auto it = actors_.find(target);
+  if (it == actors_.end()) return;
+  EventActor* actor = it->second.get();
+  int src_site = actors_.at(from)->site();
+  CountMessage(&stats_, msg.kind);
+  network_->Send(src_site, actor->site(), options_.message_bytes,
+                 [actor, msg] { actor->Receive(msg); });
+}
+
+OccurrenceStamp GuardScheduler::NextStamp() {
+  return OccurrenceStamp{network_->sim()->now(), next_seq_++};
+}
+
+void GuardScheduler::RecordOccurrence(EventLiteral literal,
+                                      OccurrenceStamp stamp) {
+  // Write-ahead: the log entry lands before any announcement is sent, so a
+  // crash never loses an occurrence other actors may have observed.
+  if (options_.durable_log != nullptr) {
+    options_.durable_log->Append(EventLog::Record{stamp, literal});
+  }
+  history_.push_back(literal);
+  for (const auto& listener : listeners_) listener(literal);
+}
+
+Status GuardScheduler::Recover(const EventLog& log) {
+  if (!history_.empty()) {
+    return Status::FailedPrecondition(
+        "Recover must run on a fresh scheduler");
+  }
+  // Pass 1: restore decisions and the history, and advance the stamp
+  // sequence past everything logged.
+  for (const EventLog::Record& record : log.records()) {
+    auto it = actors_.find(record.literal.symbol());
+    if (it == actors_.end()) {
+      return Status::InvalidArgument(
+          "log mentions an event outside this workflow");
+    }
+    it->second->RestoreOccurrence(record.literal);
+    history_.push_back(record.literal);
+    if (record.stamp.seq >= next_seq_) next_seq_ = record.stamp.seq + 1;
+  }
+  // Pass 2: replay announcements synchronously, in stamp order, so every
+  // actor's knowledge (and hence reduced guards) matches the pre-crash
+  // state. No parked attempts exist yet, so nothing can fire.
+  for (const EventLog::Record& record : log.records()) {
+    auto sub = subscribers_.find(record.literal.symbol());
+    if (sub == subscribers_.end()) continue;
+    RuntimeMessage announce{RuntimeMessageKind::kAnnounce, record.literal,
+                            record.stamp, EventLiteral(), {}, nullptr, {}};
+    for (SymbolId target : sub->second) {
+      actors_.at(target)->Receive(announce);
+    }
+  }
+  return Status::OK();
+}
+
+bool GuardScheduler::MayTrigger(EventLiteral literal) const {
+  if (!options_.auto_trigger) return false;
+  if (literal.complemented()) return false;
+  auto it = attrs_.find(literal.symbol());
+  if (it == attrs_.end()) return false;
+  if (!it->second.triggerable) return false;
+  auto actor_it = actors_.find(literal.symbol());
+  return actor_it != actors_.end() && !actor_it->second->decided();
+}
+
+}  // namespace cdes

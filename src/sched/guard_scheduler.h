@@ -1,0 +1,147 @@
+#ifndef CDES_SCHED_GUARD_SCHEDULER_H_
+#define CDES_SCHED_GUARD_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "guards/workflow.h"
+#include "runtime/event_actor.h"
+#include "runtime/event_log.h"
+#include "sim/network.h"
+#include "spec/ast.h"
+
+namespace cdes {
+
+struct GuardSchedulerOptions {
+  /// Semantic canonicalization of compiled guards (Example 9 forms).
+  bool simplify_guards = true;
+  /// Proactively trigger triggerable events needed by parked guards.
+  bool auto_trigger = true;
+  /// Enable the conditional-promise consensus of Example 11.
+  bool enable_promises = true;
+  /// Estimated bytes per runtime message, for network accounting.
+  size_t message_bytes = 48;
+  /// When set, every occurrence is appended (stamp + literal) before it is
+  /// announced; GuardScheduler::Recover replays such a log after a crash.
+  EventLog* durable_log = nullptr;
+};
+
+/// Message-kind breakdown of the runtime traffic (the paper's message
+/// protocol of §4.3: occurrence announcements, promises, promise requests,
+/// and proactive triggers).
+struct GuardSchedulerStats {
+  uint64_t announcements = 0;
+  uint64_t promises = 0;
+  uint64_t promise_requests = 0;
+  uint64_t triggers = 0;
+
+  uint64_t total() const {
+    return announcements + promises + promise_requests + triggers;
+  }
+};
+
+/// The paper's contribution: the distributed, event-centric scheduler
+/// (§4). One EventActor per event symbol lives at the site of its owning
+/// agent; each actor holds precompiled guards for its two literals and
+/// decides occurrences purely from local state plus incoming announcements
+/// and promises. There is no central component: every message is
+/// actor-to-actor through the simulated network.
+class GuardScheduler : public Scheduler, public ActorHost {
+ public:
+  /// Compiles `workflow` in `ctx` and instantiates actors on `network`'s
+  /// sites. Events without an agent (or agents without a site) live at
+  /// site 0.
+  GuardScheduler(WorkflowContext* ctx, const ParsedWorkflow& workflow,
+                 Network* network, const GuardSchedulerOptions& options = {});
+
+  /// Installs a further workflow instance at runtime (§5.1: "Attempting
+  /// some key event binds the parameters of all events, thus instantiating
+  /// the workflow afresh"): new actors are created for its events and
+  /// scheduling of existing instances is unaffected. The new instance's
+  /// symbols must be disjoint from every installed instance's (instances
+  /// from a WorkflowTemplate are, by construction of the mangled names).
+  Status AddInstance(const ParsedWorkflow& workflow);
+
+  // ---- Scheduler interface ----
+  /// Schedules the attempt at the owning actor's site (agents are
+  /// co-located with their events; the attempt itself crosses no link).
+  void Attempt(EventLiteral literal, AttemptCallback done) override;
+  const Trace& history() const override { return history_; }
+  std::string name() const override { return "guard-distributed"; }
+  void AddOccurrenceListener(
+      std::function<void(EventLiteral)> listener) override {
+    listeners_.push_back(std::move(listener));
+  }
+
+  // ---- Introspection ----
+  /// The current (reduced) guard of a literal.
+  const Guard* CurrentGuardOf(EventLiteral literal) const;
+  /// The compiled (initial) guard of a literal.
+  const Guard* CompiledGuardOf(EventLiteral literal) const;
+  EventActor* actor(SymbolId symbol);
+  size_t parked_count() const;
+  size_t violations() const { return violations_; }
+  const GuardSchedulerStats& stats() const { return stats_; }
+  /// Symbols of all installed instances.
+  const std::set<SymbolId>& symbols() const { return symbols_; }
+
+  /// Drives the computation toward a maximal trace (the universe U_T over
+  /// which guards are interpreted): attempts the complement of every still
+  /// undecided symbol, in symbol order. Complements whose guard is not yet
+  /// establishable park and resolve as other closures land. Call
+  /// Simulator::Run afterwards; repeat until Undecided() is empty.
+  void Close();
+
+  /// Symbols no event (of either polarity) has decided yet.
+  std::vector<SymbolId> Undecided() const;
+
+  /// Rebuilds state from a durable log written by a previous (crashed)
+  /// scheduler over the same workflow: decided events, per-actor
+  /// knowledge, reduced guards, and the history are reconstructed exactly.
+  /// Promises and trigger obligations are soft state: they are not logged
+  /// and are re-derived on demand (a parked attempt re-emits its promise
+  /// requests). Must be called on a freshly constructed scheduler, before
+  /// any attempts.
+  Status Recover(const EventLog& log);
+  /// True iff the history satisfies every dependency "so far" (no
+  /// dependency residual is 0); with `maximal`, requires full satisfaction.
+  bool HistoryConsistent(bool require_satisfaction = false) const;
+
+  // ---- ActorHost interface (used by actors) ----
+  void Broadcast(SymbolId from, const RuntimeMessage& msg) override;
+  void SendTo(SymbolId from, SymbolId target,
+              const RuntimeMessage& msg) override;
+  OccurrenceStamp NextStamp() override;
+  void RecordOccurrence(EventLiteral literal, OccurrenceStamp stamp) override;
+  void RecordViolation(EventLiteral) override { ++violations_; }
+  bool MayTrigger(EventLiteral literal) const override;
+  bool PromisesEnabled() const override { return options_.enable_promises; }
+  GuardArena* guard_arena() override { return ctx_->guards(); }
+  Residuator* residuator() override { return ctx_->residuator(); }
+
+ private:
+  WorkflowContext* ctx_;
+  Network* network_;
+  GuardSchedulerOptions options_;
+  /// Per-literal compiled guards across all installed instances.
+  std::map<EventLiteral, const Guard*> compiled_guards_;
+  std::set<SymbolId> symbols_;
+  bool impossible_ = false;
+  std::map<SymbolId, std::unique_ptr<EventActor>> actors_;
+  /// symbol → symbols of actors whose guards mention it.
+  std::map<SymbolId, std::set<SymbolId>> subscribers_;
+  std::map<SymbolId, EventAttributes> attrs_;
+  Trace history_;
+  std::vector<std::function<void(EventLiteral)>> listeners_;
+  GuardSchedulerStats stats_;
+  uint64_t next_seq_ = 0;
+  size_t violations_ = 0;
+  WorkflowSpec spec_;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_SCHED_GUARD_SCHEDULER_H_

@@ -1,0 +1,170 @@
+#include "sched/residuation_scheduler.h"
+
+#include <deque>
+#include <set>
+
+namespace cdes {
+
+ResiduationScheduler::ResiduationScheduler(WorkflowContext* ctx,
+                                           const ParsedWorkflow& workflow,
+                                           Network* network, int center_site,
+                                           size_t message_bytes)
+    : ctx_(ctx), network_(network), center_site_(center_site),
+      message_bytes_(message_bytes), dependencies_(workflow.spec.dependencies()) {
+  residuals_.reserve(dependencies_.size());
+  for (const Dependency& dep : dependencies_) {
+    residuals_.push_back(ctx_->residuator()->NormalForm(dep.expr));
+  }
+  for (const EventDecl& decl : workflow.events) {
+    attrs_[decl.symbol] = decl.attrs;
+    const AgentDecl* agent = workflow.FindAgent(decl.agent);
+    sites_[decl.symbol] = agent != nullptr ? agent->site : 0;
+  }
+}
+
+int ResiduationScheduler::SiteOf(SymbolId symbol) const {
+  auto it = sites_.find(symbol);
+  return it == sites_.end() ? 0 : it->second;
+}
+
+void ResiduationScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
+  int agent_site = SiteOf(literal.symbol());
+  // Attempt message travels from the agent's site to the center.
+  network_->Send(agent_site, center_site_, message_bytes_,
+                 [this, literal, done = std::move(done), agent_site] {
+                   HandleAttempt(literal, done, agent_site);
+                 });
+}
+
+void ResiduationScheduler::Reply(int agent_site, const AttemptCallback& done,
+                                 Decision decision) {
+  if (!done) return;
+  network_->Send(center_site_, agent_site, message_bytes_,
+                 [done, decision] { done(decision); });
+}
+
+void ResiduationScheduler::HandleAttempt(EventLiteral literal,
+                                         AttemptCallback done,
+                                         int agent_site) {
+  auto decided = decided_.find(literal.symbol());
+  if (decided != decided_.end()) {
+    Reply(agent_site, done,
+          decided->second == literal ? Decision::kAccepted
+                                     : Decision::kRejected);
+    return;
+  }
+  if (CanAcceptNow(literal)) {
+    ApplyOccurrence(literal);
+    Reply(agent_site, done, Decision::kAccepted);
+    Reevaluate();
+    return;
+  }
+  if (!CanEverAccept(literal)) {
+    EventAttributes attrs = attrs_.count(literal.symbol())
+                                ? attrs_[literal.symbol()]
+                                : EventAttributes{};
+    if (!literal.complemented() && !attrs.rejectable) {
+      // Forced admission of a nonrejectable event (abort-like).
+      ++violations_;
+      ApplyOccurrence(literal);
+      Reply(agent_site, done, Decision::kAccepted);
+      Reevaluate();
+    } else {
+      Reply(agent_site, done, Decision::kRejected);
+    }
+    return;
+  }
+  Reply(agent_site, done, Decision::kParked);
+  parked_.push_back(Parked{literal, std::move(done), agent_site});
+}
+
+bool ResiduationScheduler::Satisfiable(const Expr* e) {
+  auto it = sat_cache_.find(e);
+  if (it != sat_cache_.end()) return it->second;
+  bool sat = IsSatisfiable(ctx_->residuator(), e);
+  sat_cache_.emplace(e, sat);
+  return sat;
+}
+
+bool ResiduationScheduler::CanAcceptNow(EventLiteral literal) {
+  for (const Expr* residual : residuals_) {
+    if (!Satisfiable(ctx_->residuator()->Residuate(residual, literal))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResiduationScheduler::CanEverAccept(EventLiteral literal) {
+  // ℓ is viable for a dependency if some residual reachable via events of
+  // *other* symbols admits ℓ without losing satisfiability. Per-dependency
+  // reachability on the residual DAG (residuals drop consumed symbols, so
+  // this terminates).
+  for (const Expr* residual : residuals_) {
+    std::set<const Expr*> seen;
+    std::deque<const Expr*> frontier = {residual};
+    bool viable = false;
+    while (!viable && !frontier.empty()) {
+      const Expr* state = frontier.front();
+      frontier.pop_front();
+      if (!seen.insert(state).second) continue;
+      if (Satisfiable(ctx_->residuator()->Residuate(state, literal))) {
+        viable = true;
+        break;
+      }
+      for (EventLiteral step : Gamma(state)) {
+        if (step.symbol() == literal.symbol()) continue;
+        if (decided_.count(step.symbol())) continue;
+        frontier.push_back(ctx_->residuator()->Residuate(state, step));
+      }
+    }
+    if (!viable) return false;
+  }
+  return true;
+}
+
+void ResiduationScheduler::ApplyOccurrence(EventLiteral literal) {
+  decided_[literal.symbol()] = literal;
+  history_.push_back(literal);
+  for (const Expr*& residual : residuals_) {
+    residual = ctx_->residuator()->Residuate(residual, literal);
+  }
+  for (const auto& listener : listeners_) listener(literal);
+}
+
+void ResiduationScheduler::Reevaluate() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < parked_.size(); ++i) {
+      EventLiteral literal = parked_[i].literal;
+      auto decided = decided_.find(literal.symbol());
+      if (decided != decided_.end()) {
+        Parked p = std::move(parked_[i]);
+        parked_.erase(parked_.begin() + i);
+        Reply(p.agent_site, p.done,
+              decided->second == literal ? Decision::kAccepted
+                                         : Decision::kRejected);
+        changed = true;
+        break;
+      }
+      if (CanAcceptNow(literal)) {
+        Parked p = std::move(parked_[i]);
+        parked_.erase(parked_.begin() + i);
+        ApplyOccurrence(literal);
+        Reply(p.agent_site, p.done, Decision::kAccepted);
+        changed = true;
+        break;
+      }
+      if (!CanEverAccept(literal)) {
+        Parked p = std::move(parked_[i]);
+        parked_.erase(parked_.begin() + i);
+        Reply(p.agent_site, p.done, Decision::kRejected);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cdes

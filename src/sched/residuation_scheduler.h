@@ -1,0 +1,87 @@
+#ifndef CDES_SCHED_RESIDUATION_SCHEDULER_H_
+#define CDES_SCHED_RESIDUATION_SCHEDULER_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "guards/workflow.h"
+#include "sim/network.h"
+#include "sched/scheduler.h"
+#include "spec/ast.h"
+
+namespace cdes {
+
+/// The centralized, dependency-centric scheduler (§3.3-3.4, Figure 2) —
+/// the design the paper's distributed approach replaces. All dependencies
+/// are represented as residual expressions at one site. Every attempt is a
+/// round trip: agent site → center (attempt), center → agent site
+/// (decision). Scheduling policy, per the Figure 2 state machine:
+///
+///   accept ℓ  iff every dependency's residual stays satisfiable after
+///             residuating by ℓ (the trace can still be completed);
+///   reject ℓ  iff ℓ can never become acceptable (no reachable residual,
+///             via events of other symbols, admits ℓ) or ℓ̄ has occurred;
+///   park   ℓ  otherwise, re-examined after every occurrence.
+///
+/// Note the semantic contrast with guards: this scheduler accepts f first
+/// under D_< (committing to later reject e), while the guard scheduler
+/// parks f until ē is guaranteed (Example 10). Both enforce every
+/// dependency; they realize different subsets of the acceptable traces.
+class ResiduationScheduler : public Scheduler {
+ public:
+  ResiduationScheduler(WorkflowContext* ctx, const ParsedWorkflow& workflow,
+                       Network* network, int center_site = 0,
+                       size_t message_bytes = 48);
+
+  void Attempt(EventLiteral literal, AttemptCallback done) override;
+  const Trace& history() const override { return history_; }
+  std::string name() const override { return "residuation-centralized"; }
+  void AddOccurrenceListener(
+      std::function<void(EventLiteral)> listener) override {
+    listeners_.push_back(std::move(listener));
+  }
+
+  size_t parked_count() const { return parked_.size(); }
+  /// Current residual of dependency `index` (Figure 2 state).
+  const Expr* ResidualOf(size_t index) const { return residuals_[index]; }
+  size_t violations() const { return violations_; }
+
+ private:
+  struct Parked {
+    EventLiteral literal;
+    AttemptCallback done;
+    int agent_site;
+  };
+
+  /// Runs at the center: decides or parks an arriving attempt.
+  void HandleAttempt(EventLiteral literal, AttemptCallback done,
+                     int agent_site);
+  bool CanAcceptNow(EventLiteral literal);
+  bool CanEverAccept(EventLiteral literal);
+  bool Satisfiable(const Expr* e);
+  void ApplyOccurrence(EventLiteral literal);
+  void Reevaluate();
+  void Reply(int agent_site, const AttemptCallback& done, Decision decision);
+  int SiteOf(SymbolId symbol) const;
+
+  WorkflowContext* ctx_;
+  Network* network_;
+  int center_site_;
+  size_t message_bytes_;
+  std::vector<Dependency> dependencies_;
+  std::vector<const Expr*> residuals_;
+  std::map<SymbolId, int> sites_;
+  std::map<SymbolId, EventAttributes> attrs_;
+  std::map<SymbolId, EventLiteral> decided_;
+  std::vector<Parked> parked_;
+  std::unordered_map<const Expr*, bool> sat_cache_;
+  Trace history_;
+  std::vector<std::function<void(EventLiteral)>> listeners_;
+  size_t violations_ = 0;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_SCHED_RESIDUATION_SCHEDULER_H_

@@ -1,0 +1,52 @@
+#ifndef CDES_SCHED_SCHEDULER_H_
+#define CDES_SCHED_SCHEDULER_H_
+
+#include <functional>
+#include <string>
+
+#include "algebra/trace.h"
+
+namespace cdes {
+
+/// Outcome of an attempted event (§3.3): the scheduler accepts it (it
+/// occurs), rejects it (it will never occur — equivalently its complement
+/// is scheduled), or parks it awaiting more information.
+enum class Decision { kAccepted, kRejected, kParked };
+
+std::string DecisionToString(Decision d);
+
+/// Callback through which a task agent learns the fate of its attempt.
+/// Parked attempts resolve later with a second kAccepted/kRejected call;
+/// the kParked notification itself is delivered immediately when the
+/// scheduler parks.
+using AttemptCallback = std::function<void(Decision)>;
+
+/// Common surface of the three schedulers (distributed guard-based, and
+/// the two centralized baselines), for tests and benchmarks that compare
+/// them on identical workloads.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// A task agent attempts `literal` now. `done` may be invoked
+  /// synchronously or after simulated message exchanges; it is invoked
+  /// once with kParked if the attempt parks, then once more with the final
+  /// decision when it resolves.
+  virtual void Attempt(EventLiteral literal, AttemptCallback done) = 0;
+
+  /// The sequence of occurred events so far, in occurrence order.
+  virtual const Trace& history() const = 0;
+
+  /// Human-readable scheduler name for reports.
+  virtual std::string name() const = 0;
+
+  /// Registers a callback invoked on every occurrence (in occurrence
+  /// order). Task agents use this to observe events the scheduler
+  /// triggered on their behalf.
+  virtual void AddOccurrenceListener(
+      std::function<void(EventLiteral)> listener) = 0;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_SCHED_SCHEDULER_H_

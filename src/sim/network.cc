@@ -1,0 +1,37 @@
+#include "sim/network.h"
+
+namespace cdes {
+
+void Network::Send(int src, int dst, size_t bytes,
+                   Simulator::Callback deliver) {
+  CDES_CHECK_LT(static_cast<size_t>(src), site_count_);
+  CDES_CHECK_LT(static_cast<size_t>(dst), site_count_);
+  SimTime latency;
+  if (src == dst) {
+    latency = options_.local_latency;
+  } else {
+    auto it = link_latency_.find({src, dst});
+    latency = it != link_latency_.end() ? it->second : options_.base_latency;
+    if (options_.jitter > 0) latency += rng_.Uniform(options_.jitter + 1);
+  }
+  SimTime arrival = sim_->now() + latency;
+  if (options_.fifo_links) {
+    SimTime& last = last_arrival_[{src, dst}];
+    if (arrival < last) arrival = last;
+    last = arrival;
+  }
+  if (options_.site_processing > 0) {
+    // The destination handles one message at a time.
+    SimTime& busy_until = site_busy_until_[dst];
+    if (arrival < busy_until) arrival = busy_until;
+    arrival += options_.site_processing;
+    busy_until = arrival;
+  }
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+  stats_.remote_messages += (src != dst) ? 1 : 0;
+  stats_.total_latency += arrival - sim_->now();
+  sim_->ScheduleAt(arrival, std::move(deliver));
+}
+
+}  // namespace cdes

@@ -1,0 +1,85 @@
+#ifndef CDES_SIM_NETWORK_H_
+#define CDES_SIM_NETWORK_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace cdes {
+
+struct NetworkOptions {
+  /// One-way latency between distinct sites, in ticks.
+  SimTime base_latency = 1000;
+  /// Uniform extra delay in [0, jitter] added per message.
+  SimTime jitter = 0;
+  /// Latency for messages within a site (actor to co-located actor).
+  SimTime local_latency = 1;
+  /// When true, messages on one (src, dst) link never overtake each other.
+  bool fifo_links = true;
+  /// Serial message-handling time at the destination site: each delivery
+  /// occupies the receiving site for this many ticks, so a site that all
+  /// traffic funnels through becomes a bottleneck (how centralized
+  /// schedulers saturate under concurrent load).
+  SimTime site_processing = 0;
+  /// Seed for the jitter stream.
+  uint64_t seed = 1;
+};
+
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t remote_messages = 0;
+  SimTime total_latency = 0;
+
+  double MeanLatency() const {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(total_latency) / messages;
+  }
+};
+
+/// A simulated message-passing network among `site_count` sites.
+///
+/// Delivery is by callback: Send schedules `deliver` on the simulator after
+/// the link latency. Latency = base (per-link override possible) + jitter.
+/// With fifo_links, arrival times are clamped to be non-decreasing per link,
+/// modelling one TCP-like channel per site pair; with it off, messages can
+/// overtake (the adversarial mode used by failure-injection tests).
+class Network {
+ public:
+  Network(Simulator* sim, size_t site_count, const NetworkOptions& options)
+      : sim_(sim), site_count_(site_count), options_(options),
+        rng_(options.seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends a message of `bytes` from `src` to `dst`; `deliver` runs at the
+  /// arrival time.
+  void Send(int src, int dst, size_t bytes, Simulator::Callback deliver);
+
+  /// Overrides the base latency of one directed link.
+  void SetLinkLatency(int src, int dst, SimTime base) {
+    link_latency_[{src, dst}] = base;
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  size_t site_count() const { return site_count_; }
+  Simulator* sim() const { return sim_; }
+
+ private:
+  Simulator* sim_;
+  size_t site_count_;
+  NetworkOptions options_;
+  Rng rng_;
+  NetworkStats stats_;
+  std::map<std::pair<int, int>, SimTime> link_latency_;
+  std::map<std::pair<int, int>, SimTime> last_arrival_;
+  std::map<int, SimTime> site_busy_until_;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_SIM_NETWORK_H_

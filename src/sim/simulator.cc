@@ -1,0 +1,37 @@
+#include "sim/simulator.h"
+
+namespace cdes {
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  CDES_CHECK_GE(when, now_);
+  queue_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // Copy out before popping: the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+size_t Simulator::Run(size_t max_steps) {
+  size_t steps = 0;
+  while (steps < max_steps && Step()) ++steps;
+  return steps;
+}
+
+size_t Simulator::RunUntil(SimTime until) {
+  size_t steps = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Step();
+    ++steps;
+  }
+  if (now_ < until) now_ = until;
+  return steps;
+}
+
+}  // namespace cdes

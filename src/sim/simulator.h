@@ -1,0 +1,77 @@
+#ifndef CDES_SIM_SIMULATOR_H_
+#define CDES_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cdes {
+
+/// Virtual time, in microsecond ticks.
+using SimTime = uint64_t;
+
+/// A deterministic discrete-event simulator.
+///
+/// The workflow runtime executes on top of this instead of a physical
+/// distributed system (see DESIGN.md, substitutions): every message delivery
+/// and timer is an event in a single totally-ordered calendar, which makes
+/// runs reproducible and lets benchmarks measure message counts and decision
+/// latencies exactly.
+///
+/// Events scheduled for the same instant run in scheduling order.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ticks from now.
+  void Schedule(SimTime delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Runs the next pending event. Returns false when the calendar is empty.
+  bool Step();
+
+  /// Runs until the calendar empties or `max_steps` events have executed;
+  /// returns the number of events executed.
+  size_t Run(size_t max_steps = SIZE_MAX);
+
+  /// Runs events with time <= `until` (or until empty); returns the number
+  /// executed. The clock advances to `until` if the calendar drains early.
+  size_t RunUntil(SimTime until);
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_SIM_SIMULATOR_H_

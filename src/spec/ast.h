@@ -1,0 +1,58 @@
+#ifndef CDES_SPEC_AST_H_
+#define CDES_SPEC_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "guards/workflow.h"
+
+namespace cdes {
+
+/// Scheduling attributes of a significant event (§2, §3.3, [14]):
+///   triggerable    — the scheduler may cause the event on its own accord
+///                    (e.g. s_book, s_cancel in Example 4);
+///   rejectable     — the scheduler may refuse an attempt (aborts are not
+///                    rejectable: "the scheduler has no choice but to accept
+///                    nonrejectable events like abort");
+///   delayable      — the scheduler may park an attempt until its guard
+///                    becomes true.
+struct EventAttributes {
+  bool triggerable = false;
+  bool rejectable = true;
+  bool delayable = true;
+
+  friend bool operator==(const EventAttributes&,
+                         const EventAttributes&) = default;
+};
+
+/// A declared task agent and the (simulated) site it runs on.
+struct AgentDecl {
+  std::string name;
+  int site = 0;
+};
+
+/// A declared significant event: its interned symbol, owning agent, and
+/// attributes.
+struct EventDecl {
+  std::string name;
+  SymbolId symbol = kInvalidSymbol;
+  std::string agent;
+  EventAttributes attrs;
+};
+
+/// A fully parsed workflow: agents, events, and the dependency set.
+struct ParsedWorkflow {
+  std::string name;
+  std::vector<AgentDecl> agents;
+  std::vector<EventDecl> events;
+  WorkflowSpec spec;
+
+  /// The declaration for `symbol`, or nullptr.
+  const EventDecl* FindEvent(SymbolId symbol) const;
+  const EventDecl* FindEvent(std::string_view name) const;
+  const AgentDecl* FindAgent(std::string_view name) const;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_SPEC_AST_H_

@@ -1,0 +1,82 @@
+#include "temporal/guard_semantics.h"
+
+#include <algorithm>
+
+namespace cdes {
+
+bool HoldsAtExpr(const Trace& u, size_t index, const Expr* e) {
+  CDES_DCHECK(index <= u.size());
+  Trace prefix(u.begin(), u.begin() + index);
+  return Satisfies(prefix, e);
+}
+
+bool HoldsAt(const Trace& u, size_t index, const Guard* g) {
+  CDES_DCHECK(index <= u.size());
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+      return false;
+    case GuardKind::kTrue:
+      return true;
+    case GuardKind::kBox: {
+      for (size_t j = 0; j < index; ++j) {
+        if (u[j] == g->literal()) return true;
+      }
+      return false;
+    }
+    case GuardKind::kNeg: {
+      for (size_t j = 0; j < index; ++j) {
+        if (u[j] == g->literal()) return false;
+      }
+      return true;
+    }
+    case GuardKind::kDiamond:
+      // Satisfaction of an event expression only grows along the trace, so
+      // "eventually" collapses to satisfaction by the full maximal trace.
+      return Satisfies(u, g->expr());
+    case GuardKind::kAnd:
+      return std::all_of(g->children().begin(), g->children().end(),
+                         [&](const Guard* c) { return HoldsAt(u, index, c); });
+    case GuardKind::kOr:
+      return std::any_of(g->children().begin(), g->children().end(),
+                         [&](const Guard* c) { return HoldsAt(u, index, c); });
+  }
+  return false;
+}
+
+std::vector<GuardPoint> GuardStateSpace(const std::set<SymbolId>& symbols) {
+  // Build maximal traces over a dense re-indexing of `symbols`, then map
+  // back to the caller's symbol ids.
+  std::vector<SymbolId> ordered(symbols.begin(), symbols.end());
+  std::vector<GuardPoint> out;
+  for (const Trace& dense : EnumerateMaximalTraces(ordered.size())) {
+    Trace mapped;
+    mapped.reserve(dense.size());
+    for (EventLiteral l : dense) {
+      mapped.push_back(EventLiteral(ordered[l.symbol()], l.complemented()));
+    }
+    for (size_t i = 0; i <= mapped.size(); ++i) {
+      out.push_back(GuardPoint{mapped, i});
+    }
+  }
+  return out;
+}
+
+std::vector<bool> TruthVector(const Guard* g,
+                              const std::vector<GuardPoint>& space) {
+  std::vector<bool> out;
+  out.reserve(space.size());
+  for (const GuardPoint& p : space) {
+    out.push_back(HoldsAt(p.trace, p.index, g));
+  }
+  return out;
+}
+
+bool GuardEquivalent(const Guard* a, const Guard* b) {
+  std::set<SymbolId> symbols = GuardSymbols(a);
+  std::set<SymbolId> symbols_b = GuardSymbols(b);
+  symbols.insert(symbols_b.begin(), symbols_b.end());
+  std::vector<GuardPoint> space = GuardStateSpace(symbols);
+  return TruthVector(a, space) == TruthVector(b, space);
+}
+
+}  // namespace cdes

@@ -1,0 +1,117 @@
+#include "temporal/reduction.h"
+
+namespace cdes {
+namespace {
+
+const Guard* ReduceOnOccurred(GuardArena* arena, Residuator* residuator,
+                              const Guard* g, EventLiteral l) {
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+    case GuardKind::kTrue:
+      return g;
+    case GuardKind::kBox:
+      if (g->literal() == l) return arena->True();
+      if (g->literal() == l.Complemented()) return arena->False();
+      return g;
+    case GuardKind::kNeg:
+      if (g->literal() == l) return arena->False();
+      if (g->literal() == l.Complemented()) return arena->True();
+      return g;
+    case GuardKind::kDiamond:
+      return arena->Diamond(residuator->Residuate(g->expr(), l));
+    case GuardKind::kAnd:
+    case GuardKind::kOr: {
+      std::vector<const Guard*> kids;
+      kids.reserve(g->children().size());
+      for (const Guard* c : g->children()) {
+        kids.push_back(ReduceOnOccurred(arena, residuator, c, l));
+      }
+      return g->kind() == GuardKind::kAnd ? arena->And(kids)
+                                          : arena->Or(kids);
+    }
+  }
+  return g;
+}
+
+const Guard* ReduceOnPromised(GuardArena* arena, const Guard* g,
+                              EventLiteral l) {
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+    case GuardKind::kTrue:
+      return g;
+    case GuardKind::kBox:
+      // A promise of ℓ rules ℓ̄ out forever but does not make ℓ occurred.
+      if (g->literal() == l.Complemented()) return arena->False();
+      return g;
+    case GuardKind::kNeg:
+      if (g->literal() == l.Complemented()) return arena->True();
+      return g;
+    case GuardKind::kDiamond: {
+      const Expr* e = g->expr();
+      if (e->IsAtom() && e->literal() == l) return arena->True();
+      // An Or alternative consisting of exactly the promised atom will be
+      // satisfied eventually.
+      if (e->kind() == ExprKind::kOr) {
+        for (const Expr* c : e->children()) {
+          if (c->IsAtom() && c->literal() == l) return arena->True();
+        }
+      }
+      // Branches that require ℓ̄ can never be satisfied any more.
+      const Expr* pruned =
+          PruneImpossibleLiteral(arena->exprs(), e, l.Complemented());
+      return arena->Diamond(pruned);
+    }
+    case GuardKind::kAnd:
+    case GuardKind::kOr: {
+      std::vector<const Guard*> kids;
+      kids.reserve(g->children().size());
+      for (const Guard* c : g->children()) {
+        kids.push_back(ReduceOnPromised(arena, c, l));
+      }
+      return g->kind() == GuardKind::kAnd ? arena->And(kids)
+                                          : arena->Or(kids);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+const Guard* ReduceGuard(GuardArena* arena, Residuator* residuator,
+                         const Guard* g, const Announcement& announcement) {
+  if (announcement.kind == AnnouncementKind::kOccurred) {
+    return ReduceOnOccurred(arena, residuator, g, announcement.literal);
+  }
+  return ReduceOnPromised(arena, g, announcement.literal);
+}
+
+const Expr* PruneImpossibleLiteral(ExprArena* arena, const Expr* e,
+                                   EventLiteral dead) {
+  switch (e->kind()) {
+    case ExprKind::kZero:
+    case ExprKind::kTop:
+      return e;
+    case ExprKind::kAtom:
+      return e->literal() == dead ? arena->Zero() : e;
+    case ExprKind::kSeq:
+    case ExprKind::kOr:
+    case ExprKind::kAnd: {
+      std::vector<const Expr*> kids;
+      kids.reserve(e->children().size());
+      for (const Expr* c : e->children()) {
+        kids.push_back(PruneImpossibleLiteral(arena, c, dead));
+      }
+      switch (e->kind()) {
+        case ExprKind::kSeq:
+          return arena->Seq(kids);
+        case ExprKind::kOr:
+          return arena->Or(kids);
+        default:
+          return arena->And(kids);
+      }
+    }
+  }
+  return e;
+}
+
+}  // namespace cdes

@@ -1,0 +1,45 @@
+#ifndef CDES_TEMPORAL_REDUCTION_H_
+#define CDES_TEMPORAL_REDUCTION_H_
+
+#include "algebra/residuation.h"
+#include "temporal/guard.h"
+
+namespace cdes {
+
+/// What an event actor can announce to the actors whose guards mention it
+/// (§4.3): that the event has occurred (□e), or a promise that it will
+/// eventually occur (◇e) used to resolve mutually-referential guards
+/// (Example 11).
+enum class AnnouncementKind { kOccurred, kPromised };
+
+struct Announcement {
+  AnnouncementKind kind;
+  EventLiteral literal;
+
+  friend bool operator==(const Announcement&, const Announcement&) = default;
+};
+
+/// Assimilates one announcement into a guard, applying the §4.3 proof
+/// rules. On □ℓ:
+///   □ℓ → ⊤, ¬ℓ → 0, □ℓ̄ → 0, ¬ℓ̄ → ⊤, and ◇E → ◇(E/ℓ)
+/// (the residuation handles ◇ℓ → ⊤ and kills branches requiring ℓ̄ or a
+/// violated order). On ◇ℓ (a promise):
+///   ◇ℓ → ⊤, □ℓ̄ → 0, ◇ℓ̄-requiring branches die, ¬ℓ̄ → ⊤,
+/// while □ℓ and ¬ℓ are deliberately unaffected — a promised event has not
+/// *occurred* yet.
+///
+/// IMPORTANT: ◇E reduction by residuation is order-sensitive; occurrence
+/// announcements must be assimilated in occurrence order (the runtime's
+/// hold-back queue guarantees this — see runtime/event_actor.h).
+const Guard* ReduceGuard(GuardArena* arena, Residuator* residuator,
+                         const Guard* g, const Announcement& announcement);
+
+/// Replaces every atom `dead` inside `e` with 0 (the event can no longer
+/// occur) and rebuilds. Unlike residuation this consumes no ordering
+/// information.
+const Expr* PruneImpossibleLiteral(ExprArena* arena, const Expr* e,
+                                   EventLiteral dead);
+
+}  // namespace cdes
+
+#endif  // CDES_TEMPORAL_REDUCTION_H_

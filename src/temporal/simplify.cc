@@ -1,0 +1,131 @@
+#include "temporal/simplify.h"
+
+#include <algorithm>
+
+namespace cdes {
+namespace {
+
+// All pruning below works relative to a *care set*: points of the state
+// space where the rewritten guard must agree with the target vector.
+// Points outside the care set are don't-cares (e.g. inside an Or child,
+// points where another sibling is already true).
+
+bool MatchesOnCare(const std::vector<bool>& vec, const std::vector<bool>& care,
+                   const std::vector<bool>& target) {
+  for (size_t i = 0; i < vec.size(); ++i) {
+    if (care[i] && vec[i] != target[i]) return false;
+  }
+  return true;
+}
+
+bool ConstantOnCare(const std::vector<bool>& care,
+                    const std::vector<bool>& target, bool value) {
+  for (size_t i = 0; i < care.size(); ++i) {
+    if (care[i] && target[i] != value) return false;
+  }
+  return true;
+}
+
+const Guard* Prune(GuardArena* arena, const Guard* g,
+                   const std::vector<GuardPoint>& space,
+                   const std::vector<bool>& care,
+                   const std::vector<bool>& target) {
+  if (ConstantOnCare(care, target, true)) return arena->True();
+  if (ConstantOnCare(care, target, false)) return arena->False();
+  if (g->kind() != GuardKind::kAnd && g->kind() != GuardKind::kOr) return g;
+
+  // Promote a child that already matches on the care set.
+  for (const Guard* c : g->children()) {
+    if (MatchesOnCare(TruthVector(c, space), care, target)) {
+      return Prune(arena, c, space, care, target);
+    }
+  }
+
+  // Drop children while the node still matches on the care set.
+  const Guard* current = g;
+  bool changed = true;
+  while (changed && (current->kind() == GuardKind::kAnd ||
+                     current->kind() == GuardKind::kOr)) {
+    changed = false;
+    for (size_t i = 0; i < current->children().size(); ++i) {
+      std::vector<const Guard*> kids;
+      for (size_t j = 0; j < current->children().size(); ++j) {
+        if (j != i) kids.push_back(current->children()[j]);
+      }
+      const Guard* candidate = current->kind() == GuardKind::kAnd
+                                   ? arena->And(kids)
+                                   : arena->Or(kids);
+      if (MatchesOnCare(TruthVector(candidate, space), care, target)) {
+        current = candidate;
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (current->kind() != GuardKind::kAnd &&
+      current->kind() != GuardKind::kOr) {
+    return Prune(arena, current, space, care, target);
+  }
+
+  // Simplify each child under the don't-cares granted by its siblings:
+  // for Or, a point already covered by another true sibling (with target
+  // true) lets the child do anything; dually for And with a false sibling.
+  bool is_and = current->kind() == GuardKind::kAnd;
+  std::vector<const Guard*> kids(current->children());
+  for (size_t i = 0; i < kids.size(); ++i) {
+    std::vector<bool> sibling_covers(space.size(), false);
+    for (size_t j = 0; j < kids.size(); ++j) {
+      if (j == i) continue;
+      std::vector<bool> vj = TruthVector(kids[j], space);
+      for (size_t p = 0; p < space.size(); ++p) {
+        // Or: sibling true covers target-true points.
+        // And: sibling false covers target-false points.
+        if (is_and ? (!vj[p] && !target[p]) : (vj[p] && target[p])) {
+          sibling_covers[p] = true;
+        }
+      }
+    }
+    std::vector<bool> child_care(space.size());
+    for (size_t p = 0; p < space.size(); ++p) {
+      child_care[p] = care[p] && !sibling_covers[p];
+    }
+    kids[i] = Prune(arena, kids[i], space, child_care, target);
+  }
+  const Guard* rebuilt = is_and ? arena->And(kids) : arena->Or(kids);
+  // The rebuild must still match; fall back to the input if a degenerate
+  // interaction between don't-cares broke it (cannot happen for correct
+  // care propagation, but we never trade correctness for succinctness).
+  if (!MatchesOnCare(TruthVector(rebuilt, space), care, target)) {
+    return current;
+  }
+  // Child simplification may enable further drops (e.g. a child weakened
+  // into subsuming a sibling); iterate to a fixpoint.
+  if (rebuilt != current) {
+    return Prune(arena, rebuilt, space, care, target);
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+const Guard* SimplifyGuard(GuardArena* arena, const Guard* g) {
+  std::set<SymbolId> symbols = GuardSymbols(g);
+  std::vector<GuardPoint> space = GuardStateSpace(symbols);
+  std::vector<bool> target = TruthVector(g, space);
+  std::vector<bool> care(space.size(), true);
+  return Prune(arena, g, space, care, target);
+}
+
+bool GuardIsValid(const Guard* g) {
+  std::vector<GuardPoint> space = GuardStateSpace(GuardSymbols(g));
+  std::vector<bool> v = TruthVector(g, space);
+  return std::all_of(v.begin(), v.end(), [](bool b) { return b; });
+}
+
+bool GuardIsUnsatisfiable(const Guard* g) {
+  std::vector<GuardPoint> space = GuardStateSpace(GuardSymbols(g));
+  std::vector<bool> v = TruthVector(g, space);
+  return std::none_of(v.begin(), v.end(), [](bool b) { return b; });
+}
+
+}  // namespace cdes

@@ -1,0 +1,32 @@
+#ifndef CDES_TEMPORAL_SIMPLIFY_H_
+#define CDES_TEMPORAL_SIMPLIFY_H_
+
+#include "temporal/guard.h"
+#include "temporal/guard_semantics.h"
+
+namespace cdes {
+
+/// Semantically canonicalizing simplifier.
+///
+/// Computes the guard's truth vector over the state space of its mentioned
+/// symbols (exact, since guards only inspect those symbols) and then
+/// greedily prunes: constants, child replacement, and child dropping in
+/// And/Or nodes, accepting any rewrite that preserves the vector. This is
+/// how guards collapse to the paper's succinct forms, e.g. Example 9's
+/// G(D_<, e) = ¬f and G(D_<, f) = ◇ē + □e.
+///
+/// Exponential in the number of mentioned symbols (2^k·k!·(k+1) points);
+/// guards of one dependency mention |Γ_D| symbols, which is small in
+/// practice. For guards over many symbols prefer the cheap constructor
+/// rules and runtime reduction only.
+const Guard* SimplifyGuard(GuardArena* arena, const Guard* g);
+
+/// True iff `g` holds on every point of its state space (i.e. ≡ ⊤).
+bool GuardIsValid(const Guard* g);
+
+/// True iff `g` holds on no point (i.e. ≡ 0).
+bool GuardIsUnsatisfiable(const Guard* g);
+
+}  // namespace cdes
+
+#endif  // CDES_TEMPORAL_SIMPLIFY_H_

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "agents/task_agent.h"
+#include "agents/task_model.h"
+#include "sched/guard_scheduler.h"
+#include "spec/parser.h"
+
+namespace cdes {
+namespace {
+
+// ----------------------------------------------------------- TaskModel
+
+TEST(TaskModelTest, RdaTransactionShape) {
+  TaskModel rda = TaskModel::RdaTransaction("buy");
+  EXPECT_EQ(rda.initial(), "initial");
+  EXPECT_EQ(rda.states().size(), 4u);
+  auto next = rda.Next("initial", "start");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), "active");
+  EXPECT_EQ(rda.Next("active", "commit").value(), "committed");
+  EXPECT_EQ(rda.Next("active", "abort").value(), "aborted");
+  EXPECT_FALSE(rda.Next("initial", "commit").ok());
+  EXPECT_FALSE(rda.HasLoop());
+  EXPECT_TRUE(rda.IsTerminal("committed"));
+  EXPECT_TRUE(rda.IsTerminal("aborted"));
+  EXPECT_FALSE(rda.IsTerminal("active"));
+}
+
+TEST(TaskModelTest, TransitionControls) {
+  TaskModel rda = TaskModel::RdaTransaction("t");
+  EXPECT_EQ(rda.FindTransition("initial", "start")->control,
+            TransitionControl::kTriggerable);
+  EXPECT_EQ(rda.FindTransition("active", "commit")->control,
+            TransitionControl::kControllable);
+  EXPECT_EQ(rda.FindTransition("active", "abort")->control,
+            TransitionControl::kUncontrollable);
+}
+
+TEST(TaskModelTest, TypicalApplicationHasLoop) {
+  TaskModel app = TaskModel::TypicalApplication("app");
+  EXPECT_TRUE(app.HasLoop());
+  EXPECT_EQ(app.Next("working", "step").value(), "working");
+  EXPECT_EQ(app.EventsFrom("working").size(), 3u);
+}
+
+TEST(TaskModelTest, AddStateIdempotent) {
+  TaskModel m("m", "s0");
+  m.AddState("s1");
+  m.AddState("s1");
+  m.AddTransition("s0", "go", "s1");
+  EXPECT_EQ(m.states().size(), 2u);
+}
+
+TEST(TaskModelTest, CycleDetectionOnDiamond) {
+  TaskModel m("m", "a");
+  m.AddTransition("a", "x", "b");
+  m.AddTransition("a", "y", "c");
+  m.AddTransition("b", "z", "d");
+  m.AddTransition("c", "w", "d");
+  EXPECT_FALSE(m.HasLoop());  // diamond, no cycle
+  m.AddTransition("d", "back", "a");
+  EXPECT_TRUE(m.HasLoop());
+}
+
+// ----------------------------------------------------------- TaskAgent
+
+constexpr char kTravelSpec[] = R"(
+workflow travel {
+  agent air @ site(0);
+  agent car @ site(1);
+  event s_buy    agent(air);
+  event c_buy    agent(air);
+  event s_book   agent(car) attrs(triggerable);
+  event c_book   agent(car);
+  event s_cancel agent(car) attrs(triggerable);
+  dep d1: ~s_buy + s_book;
+  dep d2: ~c_buy + c_book . c_buy;
+  dep d3: ~c_book + c_buy + s_cancel;
+}
+)";
+
+struct AgentWorld {
+  AgentWorld() {
+    auto parsed = ParseWorkflow(&ctx, kTravelSpec);
+    CDES_CHECK(parsed.ok()) << parsed.status();
+    workflow = std::move(parsed).value();
+    NetworkOptions nopts;
+    nopts.base_latency = 50;
+    network = std::make_unique<Network>(&sim, 4, nopts);
+    sched = std::make_unique<GuardScheduler>(&ctx, workflow, network.get());
+
+    buy = std::make_unique<TaskAgent>(TaskModel::RdaTransaction("buy"), &ctx,
+                                      sched.get());
+    CDES_CHECK(buy->MapEvent("start", "s_buy").ok());
+    CDES_CHECK(buy->MapEvent("commit", "c_buy").ok());
+
+    book = std::make_unique<TaskAgent>(TaskModel::RdaTransaction("book"),
+                                       &ctx, sched.get());
+    CDES_CHECK(book->MapEvent("start", "s_book").ok());
+    CDES_CHECK(book->MapEvent("commit", "c_book").ok());
+  }
+
+  WorkflowContext ctx;
+  Simulator sim;
+  std::unique_ptr<Network> network;
+  ParsedWorkflow workflow;
+  std::unique_ptr<GuardScheduler> sched;
+  std::unique_ptr<TaskAgent> buy;
+  std::unique_ptr<TaskAgent> book;
+};
+
+TEST(TaskAgentTest, HappyPathAdvancesBothAgents) {
+  AgentWorld w;
+  ASSERT_TRUE(w.buy->Attempt("start").ok());
+  w.sim.Run();
+  // The scheduler triggered s_book; the book agent observed it and moved.
+  EXPECT_EQ(w.buy->state(), "active");
+  EXPECT_EQ(w.book->state(), "active");
+
+  ASSERT_TRUE(w.book->Attempt("commit").ok());
+  w.sim.Run();
+  EXPECT_EQ(w.book->state(), "committed");
+
+  ASSERT_TRUE(w.buy->Attempt("commit").ok());
+  w.sim.Run();
+  EXPECT_EQ(w.buy->state(), "committed");
+  EXPECT_TRUE(w.sched->HistoryConsistent());
+}
+
+TEST(TaskAgentTest, CommitBeforeBookParksAgentAttempt) {
+  AgentWorld w;
+  ASSERT_TRUE(w.buy->Attempt("start").ok());
+  w.sim.Run();
+  ASSERT_TRUE(w.buy->Attempt("commit").ok());
+  w.sim.Run();
+  // Parked: buy stays active until book commits.
+  EXPECT_EQ(w.buy->state(), "active");
+  EXPECT_EQ(w.buy->LastDecision("commit").value(), Decision::kParked);
+  ASSERT_TRUE(w.book->Attempt("commit").ok());
+  w.sim.Run();
+  EXPECT_EQ(w.buy->state(), "committed");
+  EXPECT_EQ(w.buy->LastDecision("commit").value(), Decision::kAccepted);
+}
+
+TEST(TaskAgentTest, InvalidTransitionFails) {
+  AgentWorld w;
+  Status s = w.buy->Attempt("commit");  // from initial: no such transition
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(w.buy->state(), "initial");
+}
+
+TEST(TaskAgentTest, UnmappedEventsRunLocally) {
+  AgentWorld w;
+  TaskAgent app(TaskModel::TypicalApplication("app"), &w.ctx, w.sched.get());
+  ASSERT_TRUE(app.Attempt("start").ok());
+  EXPECT_EQ(app.state(), "working");
+  // The internal loop never consults the scheduler and never blocks.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(app.Attempt("step").ok());
+    EXPECT_EQ(app.state(), "working");
+  }
+  ASSERT_TRUE(app.Attempt("finish").ok());
+  EXPECT_EQ(app.state(), "done");
+  EXPECT_TRUE(w.sched->history().empty());
+}
+
+TEST(TaskAgentTest, MapUnknownEventFails) {
+  AgentWorld w;
+  TaskAgent agent(TaskModel::RdaTransaction("x"), &w.ctx, w.sched.get());
+  EXPECT_EQ(agent.MapEvent("start", "no_such_event").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TaskAgentTest, LastDecisionUnknownBeforeAttempt) {
+  AgentWorld w;
+  EXPECT_FALSE(w.buy->LastDecision("start").ok());
+}
+
+}  // namespace
+}  // namespace cdes

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/event.h"
+#include "algebra/expr.h"
+#include "algebra/generator.h"
+#include "algebra/semantics.h"
+#include "algebra/trace.h"
+#include "common/rng.h"
+
+namespace cdes {
+namespace {
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  AlgebraTest() {
+    e_ = alphabet_.Intern("e");
+    f_ = alphabet_.Intern("f");
+    pe_ = EventLiteral::Positive(e_);
+    ne_ = EventLiteral::Complement(e_);
+    pf_ = EventLiteral::Positive(f_);
+    nf_ = EventLiteral::Complement(f_);
+  }
+
+  Alphabet alphabet_;
+  ExprArena arena_;
+  SymbolId e_, f_;
+  EventLiteral pe_, ne_, pf_, nf_;
+};
+
+// ---------------------------------------------------------------- Alphabet
+
+TEST_F(AlgebraTest, InternIsIdempotent) {
+  EXPECT_EQ(alphabet_.Intern("e"), e_);
+  EXPECT_EQ(alphabet_.Intern("g"), alphabet_.Intern("g"));
+  EXPECT_EQ(alphabet_.size(), 3u);
+}
+
+TEST_F(AlgebraTest, FindUnknownSymbol) {
+  EXPECT_EQ(alphabet_.Find("nope"), kInvalidSymbol);
+  EXPECT_EQ(alphabet_.Find("e"), e_);
+}
+
+TEST_F(AlgebraTest, LiteralNames) {
+  EXPECT_EQ(alphabet_.LiteralName(pe_), "e");
+  EXPECT_EQ(alphabet_.LiteralName(ne_), "~e");
+}
+
+TEST_F(AlgebraTest, ParseLiteral) {
+  auto r = alphabet_.ParseLiteral("~f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), nf_);
+  EXPECT_FALSE(alphabet_.ParseLiteral("~zzz").ok());
+}
+
+TEST_F(AlgebraTest, InternLiteralAddsSymbol) {
+  EventLiteral l = alphabet_.InternLiteral("~h");
+  EXPECT_TRUE(l.complemented());
+  EXPECT_EQ(alphabet_.Name(l.symbol()), "h");
+}
+
+TEST_F(AlgebraTest, ComplementIsInvolution) {
+  EXPECT_EQ(pe_.Complemented(), ne_);
+  EXPECT_EQ(ne_.Complemented(), pe_);
+  EXPECT_EQ(pe_.Complemented().Complemented(), pe_);
+}
+
+// ------------------------------------------------------------------ Traces
+
+TEST_F(AlgebraTest, TraceValidity) {
+  EXPECT_TRUE(IsValidTrace({}));
+  EXPECT_TRUE(IsValidTrace({pe_, pf_}));
+  EXPECT_FALSE(IsValidTrace({pe_, pe_}));   // event twice
+  EXPECT_FALSE(IsValidTrace({pe_, ne_}));   // e and ē together
+  EXPECT_TRUE(IsValidTrace({ne_, nf_}));
+}
+
+TEST_F(AlgebraTest, CanExtendChecksSymbolNotPolarity) {
+  Trace u = {pe_};
+  EXPECT_FALSE(CanExtend(u, pe_));
+  EXPECT_FALSE(CanExtend(u, ne_));
+  EXPECT_TRUE(CanExtend(u, pf_));
+  EXPECT_TRUE(CanExtend(u, nf_));
+}
+
+TEST_F(AlgebraTest, Example1UniverseHas13Traces) {
+  // Example 1: Γ = {e, ē, f, f̄} yields exactly the 13 listed traces.
+  std::vector<Trace> universe =
+      EnumerateUniverse({pe_, ne_, pf_, nf_});
+  EXPECT_EQ(universe.size(), 13u);
+  std::set<std::string> rendered;
+  for (const Trace& u : universe) rendered.insert(TraceToString(u, alphabet_));
+  EXPECT_TRUE(rendered.count("<>"));
+  EXPECT_TRUE(rendered.count("<e>"));
+  EXPECT_TRUE(rendered.count("<f ~e>"));
+  EXPECT_TRUE(rendered.count("<~e ~f>"));
+  EXPECT_FALSE(rendered.count("<e ~e>"));
+}
+
+TEST_F(AlgebraTest, MaximalTraces) {
+  std::vector<Trace> maximal = EnumerateMaximalTraces(2);
+  EXPECT_EQ(maximal.size(), 8u);  // 2^2 · 2!
+  for (const Trace& u : maximal) EXPECT_TRUE(IsMaximalTrace(u, 2));
+  EXPECT_FALSE(IsMaximalTrace({pe_}, 2));
+  EXPECT_TRUE(IsMaximalTrace({pe_, nf_}, 2));
+}
+
+TEST_F(AlgebraTest, TraceToString) {
+  EXPECT_EQ(TraceToString({pe_, nf_}, alphabet_), "<e ~f>");
+  EXPECT_EQ(TraceToString({}, alphabet_), "<>");
+}
+
+// --------------------------------------------------------- Expression arena
+
+TEST_F(AlgebraTest, HashConsingUnifiesStructure) {
+  const Expr* a = arena_.Or(arena_.Atom(pe_), arena_.Atom(pf_));
+  const Expr* b = arena_.Or(arena_.Atom(pf_), arena_.Atom(pe_));
+  EXPECT_EQ(a, b);  // commutativity via sorted children
+  const Expr* c = arena_.Or(a, arena_.Atom(pe_));
+  EXPECT_EQ(a, c);  // flatten + dedupe
+}
+
+TEST_F(AlgebraTest, OrIdentities) {
+  const Expr* e = arena_.Atom(pe_);
+  EXPECT_EQ(arena_.Or(e, arena_.Zero()), e);
+  EXPECT_EQ(arena_.Or(e, arena_.Top()), arena_.Top());
+  EXPECT_EQ(arena_.Or(std::span<const Expr* const>{}), arena_.Zero());
+  EXPECT_EQ(arena_.Or(e, e), e);
+}
+
+TEST_F(AlgebraTest, AndIdentities) {
+  const Expr* e = arena_.Atom(pe_);
+  EXPECT_EQ(arena_.And(e, arena_.Top()), e);
+  EXPECT_EQ(arena_.And(e, arena_.Zero()), arena_.Zero());
+  EXPECT_EQ(arena_.And(e, e), e);
+}
+
+TEST_F(AlgebraTest, SeqIdentities) {
+  const Expr* e = arena_.Atom(pe_);
+  const Expr* f = arena_.Atom(pf_);
+  EXPECT_EQ(arena_.Seq(e, arena_.Top()), e);     // ⊤ is the identity of ·
+  EXPECT_EQ(arena_.Seq(arena_.Top(), e), e);
+  EXPECT_EQ(arena_.Seq(e, arena_.Zero()), arena_.Zero());
+  // Definition 1: no trace carries a symbol twice or in both polarities.
+  EXPECT_EQ(arena_.Seq(e, e), arena_.Zero());
+  EXPECT_EQ(arena_.Seq(e, arena_.Atom(ne_)), arena_.Zero());
+  EXPECT_NE(arena_.Seq(e, f), arena_.Seq(f, e));  // order matters
+}
+
+TEST_F(AlgebraTest, SeqAssociativityViaFlattening) {
+  const Expr* e = arena_.Atom(pe_);
+  const Expr* f = arena_.Atom(pf_);
+  SymbolId g = alphabet_.Intern("g");
+  const Expr* gg = arena_.Atom(EventLiteral::Positive(g));
+  EXPECT_EQ(arena_.Seq(arena_.Seq(e, f), gg), arena_.Seq(e, arena_.Seq(f, gg)));
+}
+
+TEST_F(AlgebraTest, GammaIncludesComplements) {
+  // Γ_E is "the set of events mentioned in E, and their complements".
+  const Expr* d = KleinImplies(&arena_, e_, f_);  // ē + f
+  std::vector<EventLiteral> gamma = Gamma(d);
+  EXPECT_EQ(gamma.size(), 4u);
+  EXPECT_NE(std::find(gamma.begin(), gamma.end(), pe_), gamma.end());
+  EXPECT_NE(std::find(gamma.begin(), gamma.end(), nf_), gamma.end());
+
+  std::vector<EventLiteral> side = GammaExcluding(d, pe_);
+  EXPECT_EQ(side.size(), 2u);
+  EXPECT_EQ(side[0], pf_);
+  EXPECT_EQ(side[1], nf_);
+}
+
+TEST_F(AlgebraTest, ExprToStringPrecedence) {
+  const Expr* d = KleinPrecedes(&arena_, e_, f_);
+  std::string s = ExprToString(d, alphabet_);
+  // Children are sorted by arena id, so exact order depends on creation;
+  // the string must contain the sequence without parentheses and the
+  // complements with '~'.
+  EXPECT_NE(s.find("e . f"), std::string::npos);
+  EXPECT_NE(s.find("~e"), std::string::npos);
+  EXPECT_NE(s.find("~f"), std::string::npos);
+  EXPECT_EQ(s.find("("), std::string::npos);
+
+  const Expr* seq_of_or =
+      arena_.Seq(arena_.Or(arena_.Atom(pe_), arena_.Atom(ne_)),
+                 arena_.Atom(pf_));
+  std::string t = ExprToString(seq_of_or, alphabet_);
+  EXPECT_NE(t.find("("), std::string::npos);
+  EXPECT_EQ(ExprToString(arena_.Zero(), alphabet_), "0");
+  EXPECT_EQ(ExprToString(arena_.Top(), alphabet_), "T");
+}
+
+// -------------------------------------------------------------- Semantics
+
+TEST_F(AlgebraTest, AtomSatisfiedAnywhere) {
+  const Expr* e = arena_.Atom(pe_);
+  EXPECT_TRUE(Satisfies({pe_}, e));
+  EXPECT_TRUE(Satisfies({pf_, pe_}, e));
+  EXPECT_FALSE(Satisfies({pf_}, e));
+  EXPECT_FALSE(Satisfies({}, e));
+  // The complement literal must itself occur to satisfy the ē atom.
+  EXPECT_FALSE(Satisfies({pf_}, arena_.Atom(ne_)));
+  EXPECT_TRUE(Satisfies({nf_, ne_}, arena_.Atom(ne_)));
+}
+
+TEST_F(AlgebraTest, Example1Denotations) {
+  std::vector<Trace> universe = EnumerateUniverse({pe_, ne_, pf_, nf_});
+  // [[0]] = {} and [[⊤]] = U_E.
+  EXPECT_TRUE(Denotation(arena_.Zero(), universe).empty());
+  EXPECT_EQ(Denotation(arena_.Top(), universe).size(), 13u);
+  // [[e]] = {<e>, <e f>, <f e>, <e ~f>, <~f e>}.
+  EXPECT_EQ(Denotation(arena_.Atom(pe_), universe).size(), 5u);
+  // [[e·f]] = {<e f>}.
+  const Expr* ef = arena_.Seq(arena_.Atom(pe_), arena_.Atom(pf_));
+  std::vector<size_t> den = Denotation(ef, universe);
+  ASSERT_EQ(den.size(), 1u);
+  EXPECT_EQ(TraceToString(universe[den[0]], alphabet_), "<e f>");
+  // [[e + ē]] ≠ U_E and [[e | ē]] = {}.
+  const Expr* either = arena_.Or(arena_.Atom(pe_), arena_.Atom(ne_));
+  EXPECT_LT(Denotation(either, universe).size(), universe.size());
+  const Expr* both = arena_.And(arena_.Atom(pe_), arena_.Atom(ne_));
+  EXPECT_TRUE(Denotation(both, universe).empty());
+}
+
+TEST_F(AlgebraTest, Example2KleinImplies) {
+  // D_→ = ē + f: on any satisfying trace where e occurs, f occurs too;
+  // no order is imposed.
+  const Expr* d = KleinImplies(&arena_, e_, f_);
+  EXPECT_TRUE(Satisfies({pe_, pf_}, d));
+  EXPECT_TRUE(Satisfies({pf_, pe_}, d));   // f before e is fine
+  EXPECT_TRUE(Satisfies({ne_}, d));        // e never occurs
+  EXPECT_TRUE(Satisfies({ne_, nf_}, d));
+  EXPECT_FALSE(Satisfies({pe_}, d));       // e occurred, f undecided: not yet
+  EXPECT_FALSE(Satisfies({pe_, nf_}, d));  // e occurred, f never will
+}
+
+TEST_F(AlgebraTest, Example3KleinPrecedes) {
+  // D_< = ē + f̄ + e·f: if both occur, e precedes f.
+  const Expr* d = KleinPrecedes(&arena_, e_, f_);
+  EXPECT_TRUE(Satisfies({pe_, pf_}, d));
+  EXPECT_FALSE(Satisfies({pf_, pe_}, d));  // f before e violates it
+  EXPECT_TRUE(Satisfies({ne_, pf_}, d));
+  EXPECT_TRUE(Satisfies({pe_, nf_}, d));
+  EXPECT_TRUE(Satisfies({ne_, nf_}, d));
+  EXPECT_FALSE(Satisfies({pe_}, d));       // f still undecided
+}
+
+TEST_F(AlgebraTest, SatisfactionIsExtensionMonotone) {
+  // If u ⊨ E then every valid extension of u satisfies E (stability of
+  // occurrence). Checked for a few hand-built expressions over all traces.
+  SymbolId g = alphabet_.Intern("g");
+  std::vector<const Expr*> exprs = {
+      arena_.Atom(pe_),
+      KleinImplies(&arena_, e_, f_),
+      KleinPrecedes(&arena_, e_, f_),
+      arena_.Seq(arena_.Atom(pe_),
+                 arena_.Or(arena_.Atom(pf_), arena_.Atom(nf_))),
+      arena_.And(KleinImplies(&arena_, e_, f_),
+                 KleinPrecedes(&arena_, f_, g)),
+  };
+  std::vector<EventLiteral> lits = {pe_, ne_, pf_, nf_,
+                                    EventLiteral::Positive(g),
+                                    EventLiteral::Complement(g)};
+  std::vector<Trace> universe = EnumerateUniverse(lits);
+  for (const Expr* ex : exprs) {
+    for (const Trace& u : universe) {
+      if (!Satisfies(u, ex)) continue;
+      for (EventLiteral l : lits) {
+        if (!CanExtend(u, l)) continue;
+        Trace v = u;
+        v.push_back(l);
+        EXPECT_TRUE(Satisfies(v, ex))
+            << ExprToString(ex, alphabet_) << " lost on extension "
+            << TraceToString(v, alphabet_);
+      }
+    }
+  }
+}
+
+TEST_F(AlgebraTest, DistributivityHoldsSemantically) {
+  // · distributes over + and over | (§3.2). Verified by denotation.
+  const Expr* e = arena_.Atom(pe_);
+  const Expr* f = arena_.Atom(pf_);
+  SymbolId g = alphabet_.Intern("g");
+  const Expr* gg = arena_.Atom(EventLiteral::Positive(g));
+
+  const Expr* lhs_or = arena_.Seq(arena_.Or(e, f), gg);
+  const Expr* rhs_or = arena_.Or(arena_.Seq(e, gg), arena_.Seq(f, gg));
+  EXPECT_TRUE(ExprEquivalent(lhs_or, rhs_or));
+
+  const Expr* lhs_and = arena_.Seq(arena_.And(e, f), gg);
+  const Expr* rhs_and = arena_.And(arena_.Seq(e, gg), arena_.Seq(f, gg));
+  EXPECT_TRUE(ExprEquivalent(lhs_and, rhs_and));
+
+  // Left-sided versions.
+  const Expr* lhs_or2 = arena_.Seq(gg, arena_.Or(e, f));
+  const Expr* rhs_or2 = arena_.Or(arena_.Seq(gg, e), arena_.Seq(gg, f));
+  EXPECT_TRUE(ExprEquivalent(lhs_or2, rhs_or2));
+  const Expr* lhs_and2 = arena_.Seq(gg, arena_.And(e, f));
+  const Expr* rhs_and2 = arena_.And(arena_.Seq(gg, e), arena_.Seq(gg, f));
+  EXPECT_TRUE(ExprEquivalent(lhs_and2, rhs_and2));
+}
+
+TEST_F(AlgebraTest, ExprEquivalentDistinguishes) {
+  EXPECT_FALSE(ExprEquivalent(arena_.Atom(pe_), arena_.Atom(pf_)));
+  EXPECT_FALSE(ExprEquivalent(arena_.Seq(arena_.Atom(pe_), arena_.Atom(pf_)),
+                              arena_.Seq(arena_.Atom(pf_), arena_.Atom(pe_))));
+  EXPECT_TRUE(ExprEquivalent(arena_.Top(), arena_.Top()));
+  // e·⊤ ≡ e even with extra unrelated symbols in the universe.
+  EXPECT_TRUE(ExprEquivalent(arena_.Atom(pe_),
+                             arena_.Seq(arena_.Atom(pe_), arena_.Top())));
+}
+
+// ------------------------------------------------------------- Generators
+
+TEST_F(AlgebraTest, GeneratorIsDeterministic) {
+  RandomExprOptions options;
+  Rng rng1(42), rng2(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(GenerateRandomExpr(&arena_, &rng1, options),
+              GenerateRandomExpr(&arena_, &rng2, options));
+  }
+}
+
+TEST_F(AlgebraTest, GeneratorRespectsSymbolCount) {
+  RandomExprOptions options;
+  options.symbol_count = 2;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Expr* ex = GenerateRandomExpr(&arena_, &rng, options);
+    for (SymbolId s : MentionedSymbols(ex)) EXPECT_LT(s, 2u);
+  }
+}
+
+TEST_F(AlgebraTest, ChainAndOrderedIfAllShapes) {
+  SymbolId g = alphabet_.Intern("g");
+  const Expr* chain = Chain(&arena_, {e_, f_, g});
+  EXPECT_EQ(chain->kind(), ExprKind::kSeq);
+  EXPECT_EQ(chain->children().size(), 3u);
+  EXPECT_TRUE(Satisfies({pe_, pf_, EventLiteral::Positive(g)}, chain));
+  EXPECT_FALSE(Satisfies({pf_, pe_, EventLiteral::Positive(g)}, chain));
+
+  const Expr* ordered = OrderedIfAll(&arena_, {e_, f_});
+  EXPECT_TRUE(ExprEquivalent(ordered, KleinPrecedes(&arena_, e_, f_)));
+}
+
+}  // namespace
+}  // namespace cdes

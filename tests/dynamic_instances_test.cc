@@ -1,0 +1,117 @@
+// Dynamic workflow instantiation (§5.1: "Attempting some key event binds
+// the parameters of all events, thus instantiating the workflow afresh"):
+// instances are installed into a running scheduler as customers arrive,
+// without disturbing in-flight instances.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/strings.h"
+#include "params/param_workflow.h"
+#include "sched/guard_scheduler.h"
+
+namespace cdes {
+namespace {
+
+struct DynamicWorld {
+  DynamicWorld() {
+    travel = std::make_unique<WorkflowTemplate>(TravelTemplate());
+    NetworkOptions nopts;
+    nopts.base_latency = 100;
+    network = std::make_unique<Network>(&sim, 8, nopts);
+    // Boot with the first customer only.
+    auto first = travel->Instantiate(&ctx, {{"cid", 1}});
+    CDES_CHECK(first.ok());
+    sched = std::make_unique<GuardScheduler>(&ctx, first.value(),
+                                             network.get());
+  }
+
+  Status Arrive(ParamValue cid) {
+    CDES_ASSIGN_OR_RETURN(ParsedWorkflow instance,
+                          travel->Instantiate(&ctx, {{"cid", cid}}));
+    return sched->AddInstance(instance);
+  }
+
+  Decision AttemptAndRun(const std::string& name) {
+    auto lit = ctx.alphabet()->ParseLiteral(name);
+    CDES_CHECK(lit.ok());
+    Decision last = Decision::kParked;
+    sched->Attempt(lit.value(), [&](Decision d) { last = d; });
+    sim.Run();
+    return last;
+  }
+
+  WorkflowContext ctx;
+  Simulator sim;
+  std::unique_ptr<Network> network;
+  std::unique_ptr<WorkflowTemplate> travel;
+  std::unique_ptr<GuardScheduler> sched;
+};
+
+TEST(DynamicInstancesTest, CustomerArrivesMidFlight) {
+  DynamicWorld w;
+  // Customer 1 is mid-workflow...
+  EXPECT_EQ(w.AttemptAndRun("s_buy[1]"), Decision::kAccepted);
+  EXPECT_EQ(w.AttemptAndRun("c_book[1]"), Decision::kAccepted);
+  // ...when customer 2 arrives.
+  ASSERT_TRUE(w.Arrive(2).ok());
+  EXPECT_EQ(w.AttemptAndRun("s_buy[2]"), Decision::kAccepted);
+  // Both continue independently.
+  EXPECT_EQ(w.AttemptAndRun("c_buy[1]"), Decision::kAccepted);
+  EXPECT_EQ(w.AttemptAndRun("c_book[2]"), Decision::kAccepted);
+  EXPECT_EQ(w.AttemptAndRun("~c_buy[2]"), Decision::kAccepted);
+  EXPECT_TRUE(w.sched->HistoryConsistent());
+  EXPECT_EQ(w.sched->symbols().size(), 10u);
+}
+
+TEST(DynamicInstancesTest, ManyArrivalsInterleaved) {
+  DynamicWorld w;
+  for (ParamValue cid = 2; cid <= 12; ++cid) {
+    ASSERT_TRUE(w.Arrive(cid).ok());
+    // Each arrival starts immediately, interleaved with older instances.
+    EXPECT_EQ(w.AttemptAndRun(StrCat("s_buy[", cid, "]")),
+              Decision::kAccepted);
+  }
+  for (ParamValue cid = 1; cid <= 12; ++cid) {
+    if (cid == 1) {
+      EXPECT_EQ(w.AttemptAndRun("s_buy[1]"), Decision::kAccepted);
+    }
+    EXPECT_EQ(w.AttemptAndRun(StrCat("c_book[", cid, "]")),
+              Decision::kAccepted);
+    EXPECT_EQ(w.AttemptAndRun(StrCat("c_buy[", cid, "]")),
+              Decision::kAccepted);
+  }
+  EXPECT_TRUE(w.sched->HistoryConsistent());
+}
+
+TEST(DynamicInstancesTest, DuplicateInstanceRejected) {
+  DynamicWorld w;
+  EXPECT_TRUE(w.Arrive(2).ok());
+  EXPECT_EQ(w.Arrive(2).code(), StatusCode::kAlreadyExists);
+  // Customer 1 (installed at construction) also collides.
+  EXPECT_EQ(w.Arrive(1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DynamicInstancesTest, ArrivalDoesNotDisturbParkedAttempts) {
+  DynamicWorld w;
+  ASSERT_EQ(w.AttemptAndRun("s_buy[1]"), Decision::kAccepted);
+  std::vector<Decision> c_buy_decisions;
+  auto lit = w.ctx.alphabet()->ParseLiteral("c_buy[1]");
+  ASSERT_TRUE(lit.ok());
+  w.sched->Attempt(lit.value(),
+                   [&](Decision d) { c_buy_decisions.push_back(d); });
+  w.sim.Run();
+  EXPECT_EQ(c_buy_decisions.back(), Decision::kParked);
+
+  ASSERT_TRUE(w.Arrive(2).ok());
+  EXPECT_EQ(w.AttemptAndRun("s_buy[2]"), Decision::kAccepted);
+  // The parked commit is untouched by the arrival and resolves normally.
+  EXPECT_EQ(c_buy_decisions.back(), Decision::kParked);
+  EXPECT_EQ(w.AttemptAndRun("c_book[1]"), Decision::kAccepted);
+  EXPECT_EQ(c_buy_decisions.back(), Decision::kAccepted);
+}
+
+}  // namespace
+}  // namespace cdes

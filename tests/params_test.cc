@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algebra/semantics.h"
+#include "common/rng.h"
+#include "params/param_expr.h"
+#include "params/param_guard.h"
+#include "params/param_workflow.h"
+#include "sched/guard_scheduler.h"
+
+namespace cdes {
+namespace {
+
+// ------------------------------------------------------- Terms and atoms
+
+TEST(ParamExprTest, TermSubstitution) {
+  Binding b = {{"x", 7}};
+  EXPECT_EQ(PTerm::Var("x").Substitute(b), PTerm::Val(7));
+  EXPECT_EQ(PTerm::Var("y").Substitute(b), PTerm::Var("y"));
+  EXPECT_EQ(PTerm::Val(3).Substitute(b), PTerm::Val(3));
+}
+
+TEST(ParamExprTest, AtomGroundName) {
+  PAtom a{"e", false, {PTerm::Val(3), PTerm::Val(7)}};
+  EXPECT_EQ(a.GroundName(), "e[3,7]");
+  PAtom b{"f", true, {PTerm::Val(1)}};
+  EXPECT_EQ(b.GroundName(), "f[1]");  // polarity lives in the literal
+  EXPECT_TRUE(a.IsGround());
+  PAtom c{"e", false, {PTerm::Var("x")}};
+  EXPECT_FALSE(c.IsGround());
+  EXPECT_EQ(c.Vars(), (std::set<std::string>{"x"}));
+}
+
+TEST(ParamExprTest, Unification) {
+  PAtom pattern{"f", false, {PTerm::Var("y")}};
+  Binding binding;
+  EXPECT_TRUE(UnifyAtom(pattern, "f", false, {5}, &binding));
+  EXPECT_EQ(binding.at("y"), 5);
+  // Existing consistent binding passes; conflicting fails.
+  EXPECT_TRUE(UnifyAtom(pattern, "f", false, {5}, &binding));
+  EXPECT_FALSE(UnifyAtom(pattern, "f", false, {6}, &binding));
+  // Name, polarity, arity mismatches fail.
+  Binding fresh;
+  EXPECT_FALSE(UnifyAtom(pattern, "g", false, {5}, &fresh));
+  EXPECT_FALSE(UnifyAtom(pattern, "f", true, {5}, &fresh));
+  EXPECT_FALSE(UnifyAtom(pattern, "f", false, {5, 6}, &fresh));
+  // Constant args must match exactly.
+  PAtom constant{"f", false, {PTerm::Val(9)}};
+  EXPECT_TRUE(UnifyAtom(constant, "f", false, {9}, &fresh));
+  EXPECT_FALSE(UnifyAtom(constant, "f", false, {8}, &fresh));
+}
+
+TEST(ParamExprTest, SubstituteAndGround) {
+  WorkflowContext ctx;
+  PExpr tmpl = PExpr::Or({
+      PExpr::Atom(PAtom{"e", true, {PTerm::Var("c")}}),
+      PExpr::Seq({PExpr::Atom(PAtom{"f", false, {PTerm::Var("c")}}),
+                  PExpr::Atom(PAtom{"e", false, {PTerm::Var("c")}})}),
+  });
+  EXPECT_EQ(tmpl.FreeVars(), (std::set<std::string>{"c"}));
+  EXPECT_FALSE(tmpl.IsGround());
+  EXPECT_FALSE(tmpl.Ground(ctx.alphabet(), ctx.exprs()).ok());
+
+  PExpr ground = tmpl.Substitute({{"c", 4}});
+  EXPECT_TRUE(ground.IsGround());
+  auto r = ground.Ground(ctx.alphabet(), ctx.exprs());
+  ASSERT_TRUE(r.ok()) << r.status();
+  // The ground expression is ~e[4] + f[4].e[4] over mangled symbols.
+  SymbolId e4 = ctx.alphabet()->Find("e[4]");
+  SymbolId f4 = ctx.alphabet()->Find("f[4]");
+  ASSERT_NE(e4, kInvalidSymbol);
+  ASSERT_NE(f4, kInvalidSymbol);
+  const Expr* expected = ctx.exprs()->Or(
+      ctx.exprs()->Atom(EventLiteral::Complement(e4)),
+      ctx.exprs()->Seq(ctx.exprs()->Atom(EventLiteral::Positive(f4)),
+                       ctx.exprs()->Atom(EventLiteral::Positive(e4))));
+  EXPECT_EQ(r.value(), expected);
+}
+
+// --------------------------------------------- Example 13: mutual exclusion
+
+TEST(ParamExprTest, Example13MutualExclusionSemantics) {
+  WorkflowContext ctx;
+  PExpr dep = MutualExclusionDependency("b1", "e1", "b2", "e2");
+  EXPECT_EQ(dep.FreeVars(), (std::set<std::string>{"x", "y"}));
+  PExpr ground = dep.Substitute({{"x", 1}, {"y", 2}});
+  auto r = ground.Ground(ctx.alphabet(), ctx.exprs());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Expr* d = r.value();
+
+  EventLiteral b1 = EventLiteral::Positive(ctx.alphabet()->Find("b1[1]"));
+  EventLiteral e1 = EventLiteral::Positive(ctx.alphabet()->Find("e1[1]"));
+  EventLiteral b2 = EventLiteral::Positive(ctx.alphabet()->Find("b2[2]"));
+
+  // T1 enters, exits, then T2 enters: fine.
+  EXPECT_TRUE(Satisfies({b1, e1, b2}, d));
+  // T1 enters before T2 but exits after T2 entered: violation.
+  EXPECT_FALSE(Satisfies({b1, b2, e1}, d));
+  // T2 entered first: this instance imposes nothing (the symmetric
+  // instance with roles swapped covers that order).
+  EXPECT_TRUE(Satisfies({b2, b1, e1}, d));
+  // T2 never enters: fine.
+  EXPECT_TRUE(Satisfies({b1, e1, EventLiteral::Complement(b2.symbol())}, d));
+}
+
+// ---------------------------------------------- Example 14: guard dynamics
+
+class Example14Test : public ::testing::Test {
+ protected:
+  Example14Test() {
+    // Guard on e[x]: ¬f[y] + □g[y], y free (universally quantified).
+    PGuard tmpl = PGuard::Or({
+        PGuard::Neg(PAtom{"f", false, {PTerm::Var("y")}}),
+        PGuard::Box(PAtom{"g", false, {PTerm::Var("y")}}),
+    });
+    auto r = ParamGuardInstance::Create(&ctx_, tmpl);
+    CDES_CHECK(r.ok()) << r.status();
+    tracker_ = std::make_unique<ParamGuardInstance>(std::move(r).value());
+  }
+
+  WorkflowContext ctx_;
+  std::unique_ptr<ParamGuardInstance> tracker_;
+};
+
+TEST_F(Example14Test, InitiallyEnabled) {
+  // "Assume that initially none of the f[y]'s has happened. Therefore
+  // ¬f[y] is true, for all y. Thus e[x] can go ahead."
+  EXPECT_TRUE(tracker_->EnabledNow());
+  EXPECT_EQ(tracker_->instance_count(), 0u);
+}
+
+TEST_F(Example14Test, GuardGrowsOnF) {
+  // "Suppose f[ŷ] happens... the guard is neither ⊤ nor 0. Now if e[x] is
+  // attempted, it must wait."
+  ASSERT_TRUE(tracker_->OnAnnouncement("f", false, {5}).ok());
+  EXPECT_FALSE(tracker_->EnabledNow());
+  EXPECT_EQ(tracker_->instance_count(), 1u);
+  EXPECT_EQ(tracker_->blocking_instance_count(), 1u);
+  // The instance guard is exactly □g[5].
+  const Guard* inst = tracker_->InstanceGuard({5});
+  ASSERT_NE(inst, nullptr);
+  SymbolId g5 = ctx_.alphabet()->Find("g[5]");
+  ASSERT_NE(g5, kInvalidSymbol);
+  EXPECT_EQ(inst, ctx_.guards()->Box(EventLiteral::Positive(g5)));
+}
+
+TEST_F(Example14Test, GuardResurrectedOnG) {
+  // "Later when □g[ŷ] arrives at e[x]... e[x] is once again enabled."
+  ASSERT_TRUE(tracker_->OnAnnouncement("f", false, {5}).ok());
+  ASSERT_TRUE(tracker_->OnAnnouncement("g", false, {5}).ok());
+  EXPECT_TRUE(tracker_->EnabledNow());
+  EXPECT_EQ(tracker_->blocking_instance_count(), 0u);
+}
+
+TEST_F(Example14Test, IndependentInstancesTrackSeparately) {
+  ASSERT_TRUE(tracker_->OnAnnouncement("f", false, {1}).ok());
+  ASSERT_TRUE(tracker_->OnAnnouncement("f", false, {2}).ok());
+  EXPECT_EQ(tracker_->blocking_instance_count(), 2u);
+  ASSERT_TRUE(tracker_->OnAnnouncement("g", false, {1}).ok());
+  EXPECT_EQ(tracker_->blocking_instance_count(), 1u);
+  EXPECT_FALSE(tracker_->EnabledNow());
+  ASSERT_TRUE(tracker_->OnAnnouncement("g", false, {2}).ok());
+  EXPECT_TRUE(tracker_->EnabledNow());
+}
+
+TEST_F(Example14Test, GOnUntouchedInstanceCreatesSatisfiedInstance) {
+  // g[9] arriving before any f[9] materializes an already-true instance.
+  ASSERT_TRUE(tracker_->OnAnnouncement("g", false, {9}).ok());
+  EXPECT_TRUE(tracker_->EnabledNow());
+  EXPECT_EQ(tracker_->blocking_instance_count(), 0u);
+  // A later f[9] cannot block it: □g[9] already holds.
+  ASSERT_TRUE(tracker_->OnAnnouncement("f", false, {9}).ok());
+  EXPECT_TRUE(tracker_->EnabledNow());
+}
+
+TEST(ParamGuardTest, CreateRejectsAmbiguousTemplates) {
+  WorkflowContext ctx;
+  // Atoms carry different variable tuples: a ground occurrence could not
+  // determine its instance.
+  PGuard bad = PGuard::Or({
+      PGuard::Neg(PAtom{"f", false, {PTerm::Var("y")}}),
+      PGuard::Box(PAtom{"g", false, {PTerm::Var("z")}}),
+  });
+  EXPECT_EQ(ParamGuardInstance::Create(&ctx, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParamGuardTest, PromisesReduceDiamonds) {
+  WorkflowContext ctx;
+  PGuard tmpl = PGuard::Diamond(
+      PExpr::Atom(PAtom{"h", false, {PTerm::Var("y")}}));
+  auto r = ParamGuardInstance::Create(&ctx, tmpl);
+  ASSERT_TRUE(r.ok());
+  ParamGuardInstance tracker = std::move(r).value();
+  // ◇h[y] for all y is not establishable for fresh y: never enabled until
+  // h's are pinned... the fresh-template part evaluates false.
+  EXPECT_FALSE(tracker.EnabledNow());
+  ASSERT_TRUE(tracker
+                  .OnAnnouncement("h", false, {3},
+                                  AnnouncementKind::kPromised)
+                  .ok());
+  // The instance y=3 is satisfied by the promise, but fresh instances
+  // still block — universally quantified ◇ is unenforceable, exactly the
+  // §5.2 remark about dependencies becoming unenforceable.
+  EXPECT_EQ(tracker.blocking_instance_count(), 0u);
+  EXPECT_FALSE(tracker.EnabledNow());
+}
+
+// --------------------------------- Looping tasks under the mutex guards
+
+TEST(ParamGuardTest, LoopingMutualExclusionNeverOverlaps) {
+  // Two looping tasks guard their enter events with ¬b_other[y] + □e_other[y]
+  // (the guard family induced by Example 13's dependency instances). Each
+  // iteration uses a fresh token from the per-agent counter (§5.1), so the
+  // guards grow and shrink across iterations — the "arbitrary task"
+  // scheduling that loop-free approaches cannot express.
+  WorkflowContext ctx;
+  auto make_tracker = [&](const std::string& other_b,
+                          const std::string& other_e) {
+    PGuard tmpl = PGuard::Or({
+        PGuard::Neg(PAtom{other_b, false, {PTerm::Var("y")}}),
+        PGuard::Box(PAtom{other_e, false, {PTerm::Var("y")}}),
+    });
+    auto r = ParamGuardInstance::Create(&ctx, tmpl);
+    CDES_CHECK(r.ok());
+    return std::move(r).value();
+  };
+  ParamGuardInstance guard1 = make_tracker("b2", "e2");  // guards T1 enter
+  ParamGuardInstance guard2 = make_tracker("b1", "e1");  // guards T2 enter
+
+  struct Task {
+    std::string b, e;
+    ParamGuardInstance* enter_guard;
+    ParamGuardInstance* other_guard;
+    int iterations_done = 0;
+    bool inside = false;
+    ParamValue token = 0;
+  };
+  Task t1{"b1", "e1", &guard1, &guard2, 0, false, 0};
+  Task t2{"b2", "e2", &guard2, &guard1, 0, false, 0};
+
+  Rng rng(99);
+  const int kIterations = 25;
+  int both_inside_observed = 0;
+  int steps = 0;
+  while ((t1.iterations_done < kIterations ||
+          t2.iterations_done < kIterations) &&
+         steps++ < 10000) {
+    Task& task = (rng.Bernoulli(0.5) ? t1 : t2);
+    if (task.iterations_done >= kIterations) continue;
+    if (!task.inside) {
+      if (task.enter_guard->EnabledNow()) {
+        task.inside = true;
+        task.token = task.iterations_done + 1;
+        // Announce b_i[token] to the other task's guard.
+        ASSERT_TRUE(task.other_guard
+                        ->OnAnnouncement(task.b, false, {task.token})
+                        .ok());
+      }
+    } else {
+      // Exit the critical section.
+      task.inside = false;
+      ++task.iterations_done;
+      ASSERT_TRUE(task.other_guard
+                      ->OnAnnouncement(task.e, false, {task.token})
+                      .ok());
+    }
+    both_inside_observed += (t1.inside && t2.inside) ? 1 : 0;
+  }
+  EXPECT_EQ(both_inside_observed, 0);
+  EXPECT_EQ(t1.iterations_done, kIterations);
+  EXPECT_EQ(t2.iterations_done, kIterations);
+}
+
+// ------------------------------------ Example 12: parametrized workflows
+
+TEST(WorkflowTemplateTest, TwoCustomersCoexistIndependently) {
+  WorkflowContext ctx;
+  WorkflowTemplate travel = TravelTemplate();
+  ParsedWorkflow combined;
+  ASSERT_TRUE(travel.InstantiateInto(&ctx, {{"cid", 1}}, &combined).ok());
+  ASSERT_TRUE(travel.InstantiateInto(&ctx, {{"cid", 2}}, &combined).ok());
+  EXPECT_EQ(combined.events.size(), 10u);
+  EXPECT_EQ(combined.spec.dependencies().size(), 6u);
+
+  Simulator sim;
+  NetworkOptions nopts;
+  nopts.base_latency = 50;
+  Network net(&sim, 4, nopts);
+  GuardScheduler sched(&ctx, combined, &net);
+
+  auto attempt = [&](const std::string& name) {
+    auto lit = ctx.alphabet()->ParseLiteral(name);
+    CDES_CHECK(lit.ok());
+    Decision last = Decision::kParked;
+    sched.Attempt(lit.value(), [&](Decision d) { last = d; });
+    sim.Run();
+    return last;
+  };
+
+  // Customer 1: happy path.
+  EXPECT_EQ(attempt("s_buy[1]"), Decision::kAccepted);
+  EXPECT_EQ(attempt("c_book[1]"), Decision::kAccepted);
+  EXPECT_EQ(attempt("c_buy[1]"), Decision::kAccepted);
+  // Customer 2: compensation path, unaffected by customer 1's state.
+  EXPECT_EQ(attempt("s_buy[2]"), Decision::kAccepted);
+  EXPECT_EQ(attempt("c_book[2]"), Decision::kAccepted);
+  EXPECT_EQ(attempt("~c_buy[2]"), Decision::kAccepted);
+  bool cancel2 = false, cancel1 = false;
+  for (EventLiteral l : sched.history()) {
+    std::string n = ctx.alphabet()->LiteralName(l);
+    cancel2 |= (n == "s_cancel[2]");
+    cancel1 |= (n == "s_cancel[1]");
+  }
+  EXPECT_TRUE(cancel2);   // customer 2's booking was compensated
+  EXPECT_FALSE(cancel1);  // customer 1's was not
+  EXPECT_TRUE(sched.HistoryConsistent());
+}
+
+TEST(WorkflowTemplateTest, UnboundParameterFails) {
+  WorkflowContext ctx;
+  WorkflowTemplate travel = TravelTemplate();
+  ParsedWorkflow out;
+  EXPECT_EQ(travel.InstantiateInto(&ctx, {}, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkflowTemplateTest, DuplicateInstanceFails) {
+  WorkflowContext ctx;
+  WorkflowTemplate travel = TravelTemplate();
+  ParsedWorkflow out;
+  ASSERT_TRUE(travel.InstantiateInto(&ctx, {{"cid", 1}}, &out).ok());
+  EXPECT_EQ(travel.InstantiateInto(&ctx, {{"cid", 1}}, &out).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(WorkflowTemplateTest, ValidationOfUnknownParameters) {
+  WorkflowTemplate t("t", {"p"});
+  EXPECT_FALSE(
+      t.AddEvent(PAtom{"e", false, {PTerm::Var("q")}}, "a").ok());
+  EXPECT_FALSE(
+      t.AddDependency("d", PExpr::Atom(PAtom{"e", false, {PTerm::Var("q")}}))
+          .ok());
+  EXPECT_FALSE(t.AddEvent(PAtom{"e", true, {PTerm::Var("p")}}, "a").ok());
+}
+
+}  // namespace
+}  // namespace cdes

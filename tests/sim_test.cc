@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace cdes {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(SimulatorTest, TieBreaksByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(7, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.Schedule(5, chain);
+  };
+  sim.Schedule(0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.now(), 45u);
+}
+
+TEST(SimulatorTest, RunRespectsMaxSteps) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.Schedule(i, [&] { ++fired; });
+  EXPECT_EQ(sim.Run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtTime) {
+  Simulator sim;
+  int fired = 0;
+  for (SimTime t : {5u, 10u, 15u, 20u}) sim.ScheduleAt(t, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(12), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 12u);
+  sim.Run();
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.RunUntil(100), 0u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, StepOnEmptyReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(NetworkTest, DeliversAfterBaseLatency) {
+  Simulator sim;
+  NetworkOptions options;
+  options.base_latency = 500;
+  Network net(&sim, 2, options);
+  SimTime delivered_at = 0;
+  net.Send(0, 1, 64, [&] { delivered_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, 500u);
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().bytes, 64u);
+  EXPECT_EQ(net.stats().remote_messages, 1u);
+}
+
+TEST(NetworkTest, LocalDeliveryUsesLocalLatency) {
+  Simulator sim;
+  NetworkOptions options;
+  options.base_latency = 500;
+  options.local_latency = 2;
+  Network net(&sim, 2, options);
+  SimTime delivered_at = 0;
+  net.Send(1, 1, 16, [&] { delivered_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, 2u);
+  EXPECT_EQ(net.stats().remote_messages, 0u);
+}
+
+TEST(NetworkTest, PerLinkOverride) {
+  Simulator sim;
+  NetworkOptions options;
+  options.base_latency = 100;
+  Network net(&sim, 3, options);
+  net.SetLinkLatency(0, 2, 1000);
+  SimTime t01 = 0, t02 = 0;
+  net.Send(0, 1, 8, [&] { t01 = sim.now(); });
+  net.Send(0, 2, 8, [&] { t02 = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(t01, 100u);
+  EXPECT_EQ(t02, 1000u);
+}
+
+TEST(NetworkTest, FifoLinksNeverReorder) {
+  Simulator sim;
+  NetworkOptions options;
+  options.base_latency = 100;
+  options.jitter = 500;
+  options.fifo_links = true;
+  options.seed = 99;
+  Network net(&sim, 2, options);
+  std::vector<int> received;
+  for (int i = 0; i < 50; ++i) {
+    sim.Schedule(i, [&net, &received, i, &sim] {
+      (void)sim;
+      net.Send(0, 1, 8, [&received, i] { received.push_back(i); });
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(NetworkTest, NonFifoCanReorder) {
+  Simulator sim;
+  NetworkOptions options;
+  options.base_latency = 100;
+  options.jitter = 500;
+  options.fifo_links = false;
+  options.seed = 7;
+  Network net(&sim, 2, options);
+  std::vector<int> received;
+  for (int i = 0; i < 50; ++i) {
+    sim.Schedule(i, [&net, &received, i] {
+      net.Send(0, 1, 8, [&received, i] { received.push_back(i); });
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(received.size(), 50u);
+  bool reordered = false;
+  for (int i = 1; i < 50; ++i) reordered |= (received[i] < received[i - 1]);
+  EXPECT_TRUE(reordered);
+}
+
+TEST(NetworkTest, JitterIsDeterministicUnderSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    NetworkOptions options;
+    options.base_latency = 100;
+    options.jitter = 300;
+    options.seed = seed;
+    Network net(&sim, 2, options);
+    std::vector<SimTime> arrivals;
+    for (int i = 0; i < 20; ++i) {
+      net.Send(0, 1, 8, [&arrivals, &sim] { arrivals.push_back(sim.now()); });
+    }
+    sim.Run();
+    return arrivals;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(NetworkTest, MeanLatencyAccounting) {
+  Simulator sim;
+  NetworkOptions options;
+  options.base_latency = 200;
+  Network net(&sim, 2, options);
+  for (int i = 0; i < 10; ++i) net.Send(0, 1, 8, [] {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(net.stats().MeanLatency(), 200.0);
+}
+
+}  // namespace
+}  // namespace cdes

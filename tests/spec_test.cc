@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algebra/generator.h"
+#include "algebra/semantics.h"
+#include "spec/parser.h"
+#include "temporal/guard_semantics.h"
+
+namespace cdes {
+namespace {
+
+constexpr char kTravelSpec[] = R"(
+# Example 4 / Example 12: trip booking across two enterprises.
+workflow travel {
+  agent air @ site(0);
+  agent car @ site(1);
+
+  event s_buy    agent(air);
+  event c_buy    agent(air);
+  event s_book   agent(car) attrs(triggerable);
+  event c_book   agent(car);
+  event s_cancel agent(car) attrs(triggerable);
+
+  dep d1: ~s_buy + s_book;                 # initiate book if buy starts
+  dep d2: ~c_buy + c_book . c_buy;         # buy commits after book
+  dep d3: ~c_book + c_buy + s_cancel;      # compensate book if buy fails
+}
+)";
+
+class SpecTest : public ::testing::Test {
+ protected:
+  WorkflowContext ctx_;
+};
+
+TEST_F(SpecTest, ParsesTravelWorkflow) {
+  auto r = ParseWorkflow(&ctx_, kTravelSpec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParsedWorkflow& w = r.value();
+  EXPECT_EQ(w.name, "travel");
+  ASSERT_EQ(w.agents.size(), 2u);
+  EXPECT_EQ(w.agents[0].name, "air");
+  EXPECT_EQ(w.agents[0].site, 0);
+  EXPECT_EQ(w.agents[1].site, 1);
+  ASSERT_EQ(w.events.size(), 5u);
+  EXPECT_EQ(w.events[2].name, "s_book");
+  EXPECT_TRUE(w.events[2].attrs.triggerable);
+  EXPECT_TRUE(w.events[2].attrs.rejectable);
+  EXPECT_FALSE(w.events[0].attrs.triggerable);
+  ASSERT_EQ(w.spec.dependencies().size(), 3u);
+  EXPECT_EQ(w.spec.dependencies()[0].name, "d1");
+}
+
+TEST_F(SpecTest, ParsedDependenciesMatchHandBuilt) {
+  auto r = ParseWorkflow(&ctx_, kTravelSpec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParsedWorkflow& w = r.value();
+  SymbolId s_buy = w.FindEvent("s_buy")->symbol;
+  SymbolId s_book = w.FindEvent("s_book")->symbol;
+  // d1 = ~s_buy + s_book is exactly Klein's s_buy → s_book.
+  EXPECT_EQ(w.spec.dependencies()[0].expr,
+            KleinImplies(ctx_.exprs(), s_buy, s_book));
+  SymbolId c_buy = w.FindEvent("c_buy")->symbol;
+  SymbolId c_book = w.FindEvent("c_book")->symbol;
+  const Expr* d2 = ctx_.exprs()->Or(
+      ctx_.exprs()->Atom(EventLiteral::Complement(c_buy)),
+      ctx_.exprs()->Seq(ctx_.exprs()->Atom(EventLiteral::Positive(c_book)),
+                        ctx_.exprs()->Atom(EventLiteral::Positive(c_buy))));
+  EXPECT_EQ(w.spec.dependencies()[1].expr, d2);
+}
+
+TEST_F(SpecTest, KleinSugar) {
+  auto r = ParseWorkflow(&ctx_, R"(
+workflow k {
+  event e;
+  event f;
+  dep imp: e -> f;
+  dep prec: e < f;
+}
+)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParsedWorkflow& w = r.value();
+  SymbolId e = w.FindEvent("e")->symbol;
+  SymbolId f = w.FindEvent("f")->symbol;
+  EXPECT_EQ(w.spec.dependencies()[0].expr, KleinImplies(ctx_.exprs(), e, f));
+  EXPECT_EQ(w.spec.dependencies()[1].expr, KleinPrecedes(ctx_.exprs(), e, f));
+}
+
+TEST_F(SpecTest, OperatorPrecedence) {
+  auto r = ParseWorkflow(&ctx_, R"(
+workflow p {
+  event a;
+  event b;
+  event c;
+  dep d: a + b . c | ~a;
+}
+)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParsedWorkflow& w = r.value();
+  SymbolId a = w.FindEvent("a")->symbol;
+  SymbolId b = w.FindEvent("b")->symbol;
+  SymbolId c = w.FindEvent("c")->symbol;
+  // '+' loosest, '|' middle, '.' tightest: a + ((b.c) | ~a).
+  const Expr* expected = ctx_.exprs()->Or(
+      ctx_.exprs()->Atom(EventLiteral::Positive(a)),
+      ctx_.exprs()->And(
+          ctx_.exprs()->Seq(ctx_.exprs()->Atom(EventLiteral::Positive(b)),
+                            ctx_.exprs()->Atom(EventLiteral::Positive(c))),
+          ctx_.exprs()->Atom(EventLiteral::Complement(a))));
+  EXPECT_EQ(w.spec.dependencies()[0].expr, expected);
+}
+
+TEST_F(SpecTest, ParenthesesAndConstants) {
+  auto r = ParseWorkflow(&ctx_, R"(
+workflow q {
+  event a;
+  event b;
+  dep d1: (a + b) . a;
+  dep d2: 0 + a;
+  dep d3: T | b;
+}
+)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParsedWorkflow& w = r.value();
+  SymbolId a = w.FindEvent("a")->symbol;
+  SymbolId b = w.FindEvent("b")->symbol;
+  // (a+b).a: the a.a branch is impossible, so this is b.a.
+  EXPECT_TRUE(ExprEquivalent(
+      ctx_.residuator()->NormalForm(w.spec.dependencies()[0].expr),
+      ctx_.exprs()->Seq(ctx_.exprs()->Atom(EventLiteral::Positive(b)),
+                        ctx_.exprs()->Atom(EventLiteral::Positive(a)))));
+  EXPECT_EQ(w.spec.dependencies()[1].expr,
+            ctx_.exprs()->Atom(EventLiteral::Positive(a)));
+  EXPECT_EQ(w.spec.dependencies()[2].expr,
+            ctx_.exprs()->Atom(EventLiteral::Positive(b)));
+}
+
+TEST_F(SpecTest, MultipleWorkflows) {
+  auto r = ParseWorkflows(&ctx_, R"(
+workflow one { event a; dep d: a; }
+workflow two { event b; dep d: ~b; }
+)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].name, "one");
+  EXPECT_EQ(r.value()[1].name, "two");
+}
+
+TEST_F(SpecTest, ErrorUndeclaredEvent) {
+  auto r = ParseWorkflow(&ctx_, "workflow w { dep d: ghost; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST_F(SpecTest, ErrorDuplicateEvent) {
+  auto r = ParseWorkflow(&ctx_, "workflow w { event a; event a; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(SpecTest, ErrorUnknownAgent) {
+  auto r = ParseWorkflow(&ctx_, "workflow w { event a agent(nope); }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown agent"), std::string::npos);
+}
+
+TEST_F(SpecTest, ErrorUnknownAttribute) {
+  auto r = ParseWorkflow(&ctx_, "workflow w { event a attrs(shiny); }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("shiny"), std::string::npos);
+}
+
+TEST_F(SpecTest, ErrorWithLineAndColumn) {
+  auto r = ParseWorkflow(&ctx_, "workflow w {\n  dep d ~ x;\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:"), std::string::npos);
+}
+
+TEST_F(SpecTest, ErrorBadCharacter) {
+  auto r = ParseWorkflow(&ctx_, "workflow w { event $a; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST_F(SpecTest, ErrorTruncatedInput) {
+  auto r = ParseWorkflow(&ctx_, "workflow w { event a; dep d: a");
+  ASSERT_FALSE(r.ok());
+}
+
+constexpr char kTemplateSpec[] = R"(
+# Example 12 in the spec language itself: a cid-parametrized template.
+template trip(cid) {
+  agent air @ site(0);
+  agent car @ site(1);
+  event s_buy[cid]    agent(air);
+  event c_buy[cid]    agent(air);
+  event s_book[cid]   agent(car) attrs(triggerable);
+  event c_book[cid]   agent(car);
+  event s_cancel[cid] agent(car) attrs(triggerable);
+  dep d1: ~s_buy[cid] + s_book[cid];
+  dep d2: ~c_buy[cid] + c_book[cid] . c_buy[cid];
+  dep d3: ~c_book[cid] + c_buy[cid] + s_cancel[cid];
+}
+
+workflow main {
+  use trip(7);
+  use trip(8);
+}
+)";
+
+TEST_F(SpecTest, TemplateInstantiation) {
+  auto r = ParseWorkflow(&ctx_, kTemplateSpec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParsedWorkflow& w = r.value();
+  EXPECT_EQ(w.events.size(), 10u);
+  EXPECT_EQ(w.spec.dependencies().size(), 6u);
+  EXPECT_NE(w.FindEvent("s_buy[7]"), nullptr);
+  EXPECT_NE(w.FindEvent("s_cancel[8]"), nullptr);
+  EXPECT_TRUE(w.FindEvent("s_book[7]")->attrs.triggerable);
+  EXPECT_EQ(w.FindEvent("c_buy[8]")->agent, "air");
+  ASSERT_EQ(w.agents.size(), 2u);
+  EXPECT_EQ(w.agents[1].site, 1);
+  // The instantiated d2 matches the hand-built ground expression.
+  SymbolId c_buy7 = w.FindEvent("c_buy[7]")->symbol;
+  SymbolId c_book7 = w.FindEvent("c_book[7]")->symbol;
+  const Expr* d2 = ctx_.exprs()->Or(
+      ctx_.exprs()->Atom(EventLiteral::Complement(c_buy7)),
+      ctx_.exprs()->Seq(ctx_.exprs()->Atom(EventLiteral::Positive(c_book7)),
+                        ctx_.exprs()->Atom(EventLiteral::Positive(c_buy7))));
+  EXPECT_EQ(w.spec.dependencies()[1].expr, d2);
+}
+
+TEST_F(SpecTest, TemplateErrors) {
+  // Unknown template.
+  EXPECT_FALSE(ParseWorkflow(&ctx_, "workflow w { use ghost(1); }").ok());
+  // Wrong arity.
+  auto wrong_arity = ParseWorkflow(&ctx_, R"(
+template t(a, b) { event e[a, b]; dep d: e[a, b]; }
+workflow w { use t(1); }
+)");
+  ASSERT_FALSE(wrong_arity.ok());
+  EXPECT_NE(wrong_arity.status().message().find("parameter"),
+            std::string::npos);
+  // Unknown parameter inside the template.
+  EXPECT_FALSE(ParseWorkflow(&ctx_, R"(
+template t(a) { event e[z]; dep d: e[z]; }
+workflow w { use t(1); }
+)")
+                   .ok());
+  // Duplicate instantiation collides on event names.
+  EXPECT_FALSE(ParseWorkflow(&ctx_, R"(
+template t(a) { event e[a]; dep d: e[a]; }
+workflow w { use t(1); use t(1); }
+)")
+                   .ok());
+  // Undeclared event in a template dependency.
+  EXPECT_FALSE(ParseWorkflow(&ctx_, R"(
+template t(a) { event e[a]; dep d: ghost[a]; }
+workflow w { use t(1); }
+)")
+                   .ok());
+}
+
+TEST_F(SpecTest, TemplateInstancesScheduleIndependently) {
+  auto r = ParseWorkflow(&ctx_, kTemplateSpec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  CompiledWorkflow cw = CompileWorkflow(&ctx_, r.value().spec);
+  // Guard of c_buy[7] is □c_book[7] — instance-local, exactly as in the
+  // non-parametrized travel workflow.
+  SymbolId c_buy7 = r.value().FindEvent("c_buy[7]")->symbol;
+  SymbolId c_book7 = r.value().FindEvent("c_book[7]")->symbol;
+  EXPECT_EQ(cw.GuardFor(EventLiteral::Positive(c_buy7)),
+            ctx_.guards()->Box(EventLiteral::Positive(c_book7)));
+}
+
+TEST_F(SpecTest, FormatRoundTrips) {
+  auto r = ParseWorkflow(&ctx_, kTravelSpec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::string formatted = FormatWorkflow(r.value(), *ctx_.alphabet());
+  auto r2 = ParseWorkflow(&ctx_, formatted);
+  ASSERT_TRUE(r2.ok()) << r2.status() << "\n" << formatted;
+  const ParsedWorkflow& a = r.value();
+  const ParsedWorkflow& b = r2.value();
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_EQ(a.spec.dependencies().size(), b.spec.dependencies().size());
+  for (size_t i = 0; i < a.spec.dependencies().size(); ++i) {
+    // Hash-consing makes structural equality pointer equality.
+    EXPECT_EQ(a.spec.dependencies()[i].expr, b.spec.dependencies()[i].expr);
+  }
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].symbol, b.events[i].symbol);
+    EXPECT_EQ(a.events[i].attrs, b.events[i].attrs);
+  }
+}
+
+TEST_F(SpecTest, ParsedWorkflowCompilesToExpectedGuards) {
+  auto r = ParseWorkflow(&ctx_, kTravelSpec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ParsedWorkflow& w = r.value();
+  CompiledWorkflow cw = CompileWorkflow(&ctx_, w.spec);
+  SymbolId c_buy = w.FindEvent("c_buy")->symbol;
+  SymbolId c_book = w.FindEvent("c_book")->symbol;
+  // Dependency (2) pins □c_book onto c_buy (see guards_test for the
+  // derivation); conjunction with d3's contribution keeps it at least as
+  // strong as □c_book.
+  const Guard* g = cw.GuardFor(EventLiteral::Positive(c_buy));
+  for (const Trace& u : EnumerateMaximalTraces(0)) {
+    (void)u;  // silence unused warning pattern when no traces
+  }
+  // The guard must entail □c_book: wherever it holds, c_book occurred.
+  std::set<SymbolId> symbols = GuardSymbols(g);
+  symbols.insert(c_book);
+  for (const GuardPoint& p : GuardStateSpace(symbols)) {
+    if (HoldsAt(p.trace, p.index, g)) {
+      bool book_committed = false;
+      for (size_t j = 0; j < p.index; ++j) {
+        book_committed |= (p.trace[j] == EventLiteral::Positive(c_book));
+      }
+      EXPECT_TRUE(book_committed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdes
