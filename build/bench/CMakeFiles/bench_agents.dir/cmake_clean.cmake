@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agents.dir/bench_agents.cc.o"
+  "CMakeFiles/bench_agents.dir/bench_agents.cc.o.d"
+  "bench_agents"
+  "bench_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

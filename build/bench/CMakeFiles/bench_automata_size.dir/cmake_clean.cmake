@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_automata_size.dir/bench_automata_size.cc.o"
+  "CMakeFiles/bench_automata_size.dir/bench_automata_size.cc.o.d"
+  "bench_automata_size"
+  "bench_automata_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_automata_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

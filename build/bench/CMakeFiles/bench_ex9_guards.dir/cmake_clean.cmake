@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex9_guards.dir/bench_ex9_guards.cc.o"
+  "CMakeFiles/bench_ex9_guards.dir/bench_ex9_guards.cc.o.d"
+  "bench_ex9_guards"
+  "bench_ex9_guards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex9_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ex9_guards.
+# This may be replaced when dependencies are built.

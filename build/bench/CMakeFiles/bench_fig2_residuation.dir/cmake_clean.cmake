@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_residuation.dir/bench_fig2_residuation.cc.o"
+  "CMakeFiles/bench_fig2_residuation.dir/bench_fig2_residuation.cc.o.d"
+  "bench_fig2_residuation"
+  "bench_fig2_residuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_residuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_workflows.dir/bench_param_workflows.cc.o"
+  "CMakeFiles/bench_param_workflows.dir/bench_param_workflows.cc.o.d"
+  "bench_param_workflows"
+  "bench_param_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

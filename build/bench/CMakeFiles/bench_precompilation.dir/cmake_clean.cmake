@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precompilation.dir/bench_precompilation.cc.o"
+  "CMakeFiles/bench_precompilation.dir/bench_precompilation.cc.o.d"
+  "bench_precompilation"
+  "bench_precompilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precompilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

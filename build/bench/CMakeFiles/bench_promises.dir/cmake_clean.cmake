@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_promises.dir/bench_promises.cc.o"
+  "CMakeFiles/bench_promises.dir/bench_promises.cc.o.d"
+  "bench_promises"
+  "bench_promises.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_promises.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_comparison.dir/bench_scheduler_comparison.cc.o"
+  "CMakeFiles/bench_scheduler_comparison.dir/bench_scheduler_comparison.cc.o.d"
+  "bench_scheduler_comparison"
+  "bench_scheduler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_travel_workflow.dir/bench_travel_workflow.cc.o"
+  "CMakeFiles/bench_travel_workflow.dir/bench_travel_workflow.cc.o.d"
+  "bench_travel_workflow"
+  "bench_travel_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_travel_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specc.dir/specc.cc.o"
+  "CMakeFiles/specc.dir/specc.cc.o.d"
+  "specc"
+  "specc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

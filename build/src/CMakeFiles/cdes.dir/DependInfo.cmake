@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/task_agent.cc" "src/CMakeFiles/cdes.dir/agents/task_agent.cc.o" "gcc" "src/CMakeFiles/cdes.dir/agents/task_agent.cc.o.d"
+  "/root/repo/src/agents/task_model.cc" "src/CMakeFiles/cdes.dir/agents/task_model.cc.o" "gcc" "src/CMakeFiles/cdes.dir/agents/task_model.cc.o.d"
+  "/root/repo/src/algebra/event.cc" "src/CMakeFiles/cdes.dir/algebra/event.cc.o" "gcc" "src/CMakeFiles/cdes.dir/algebra/event.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/CMakeFiles/cdes.dir/algebra/expr.cc.o" "gcc" "src/CMakeFiles/cdes.dir/algebra/expr.cc.o.d"
+  "/root/repo/src/algebra/generator.cc" "src/CMakeFiles/cdes.dir/algebra/generator.cc.o" "gcc" "src/CMakeFiles/cdes.dir/algebra/generator.cc.o.d"
+  "/root/repo/src/algebra/residuation.cc" "src/CMakeFiles/cdes.dir/algebra/residuation.cc.o" "gcc" "src/CMakeFiles/cdes.dir/algebra/residuation.cc.o.d"
+  "/root/repo/src/algebra/semantics.cc" "src/CMakeFiles/cdes.dir/algebra/semantics.cc.o" "gcc" "src/CMakeFiles/cdes.dir/algebra/semantics.cc.o.d"
+  "/root/repo/src/algebra/trace.cc" "src/CMakeFiles/cdes.dir/algebra/trace.cc.o" "gcc" "src/CMakeFiles/cdes.dir/algebra/trace.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cdes.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cdes.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cdes.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cdes.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cdes.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cdes.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/cdes.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/cdes.dir/common/strings.cc.o.d"
+  "/root/repo/src/guards/synthesis.cc" "src/CMakeFiles/cdes.dir/guards/synthesis.cc.o" "gcc" "src/CMakeFiles/cdes.dir/guards/synthesis.cc.o.d"
+  "/root/repo/src/guards/verifier.cc" "src/CMakeFiles/cdes.dir/guards/verifier.cc.o" "gcc" "src/CMakeFiles/cdes.dir/guards/verifier.cc.o.d"
+  "/root/repo/src/guards/workflow.cc" "src/CMakeFiles/cdes.dir/guards/workflow.cc.o" "gcc" "src/CMakeFiles/cdes.dir/guards/workflow.cc.o.d"
+  "/root/repo/src/params/param_expr.cc" "src/CMakeFiles/cdes.dir/params/param_expr.cc.o" "gcc" "src/CMakeFiles/cdes.dir/params/param_expr.cc.o.d"
+  "/root/repo/src/params/param_guard.cc" "src/CMakeFiles/cdes.dir/params/param_guard.cc.o" "gcc" "src/CMakeFiles/cdes.dir/params/param_guard.cc.o.d"
+  "/root/repo/src/params/param_workflow.cc" "src/CMakeFiles/cdes.dir/params/param_workflow.cc.o" "gcc" "src/CMakeFiles/cdes.dir/params/param_workflow.cc.o.d"
+  "/root/repo/src/runtime/event_actor.cc" "src/CMakeFiles/cdes.dir/runtime/event_actor.cc.o" "gcc" "src/CMakeFiles/cdes.dir/runtime/event_actor.cc.o.d"
+  "/root/repo/src/runtime/event_log.cc" "src/CMakeFiles/cdes.dir/runtime/event_log.cc.o" "gcc" "src/CMakeFiles/cdes.dir/runtime/event_log.cc.o.d"
+  "/root/repo/src/sched/automata_scheduler.cc" "src/CMakeFiles/cdes.dir/sched/automata_scheduler.cc.o" "gcc" "src/CMakeFiles/cdes.dir/sched/automata_scheduler.cc.o.d"
+  "/root/repo/src/sched/diagnostics.cc" "src/CMakeFiles/cdes.dir/sched/diagnostics.cc.o" "gcc" "src/CMakeFiles/cdes.dir/sched/diagnostics.cc.o.d"
+  "/root/repo/src/sched/guard_scheduler.cc" "src/CMakeFiles/cdes.dir/sched/guard_scheduler.cc.o" "gcc" "src/CMakeFiles/cdes.dir/sched/guard_scheduler.cc.o.d"
+  "/root/repo/src/sched/residuation_scheduler.cc" "src/CMakeFiles/cdes.dir/sched/residuation_scheduler.cc.o" "gcc" "src/CMakeFiles/cdes.dir/sched/residuation_scheduler.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/cdes.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/cdes.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/cdes.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/cdes.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/spec/parser.cc" "src/CMakeFiles/cdes.dir/spec/parser.cc.o" "gcc" "src/CMakeFiles/cdes.dir/spec/parser.cc.o.d"
+  "/root/repo/src/temporal/guard.cc" "src/CMakeFiles/cdes.dir/temporal/guard.cc.o" "gcc" "src/CMakeFiles/cdes.dir/temporal/guard.cc.o.d"
+  "/root/repo/src/temporal/guard_semantics.cc" "src/CMakeFiles/cdes.dir/temporal/guard_semantics.cc.o" "gcc" "src/CMakeFiles/cdes.dir/temporal/guard_semantics.cc.o.d"
+  "/root/repo/src/temporal/reduction.cc" "src/CMakeFiles/cdes.dir/temporal/reduction.cc.o" "gcc" "src/CMakeFiles/cdes.dir/temporal/reduction.cc.o.d"
+  "/root/repo/src/temporal/simplify.cc" "src/CMakeFiles/cdes.dir/temporal/simplify.cc.o" "gcc" "src/CMakeFiles/cdes.dir/temporal/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

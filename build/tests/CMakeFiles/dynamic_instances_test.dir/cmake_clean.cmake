@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_instances_test.dir/dynamic_instances_test.cc.o"
+  "CMakeFiles/dynamic_instances_test.dir/dynamic_instances_test.cc.o.d"
+  "dynamic_instances_test"
+  "dynamic_instances_test.pdb"
+  "dynamic_instances_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_instances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

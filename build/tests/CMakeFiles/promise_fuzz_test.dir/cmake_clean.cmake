@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promise_fuzz_test.dir/promise_fuzz_test.cc.o"
+  "CMakeFiles/promise_fuzz_test.dir/promise_fuzz_test.cc.o.d"
+  "promise_fuzz_test"
+  "promise_fuzz_test.pdb"
+  "promise_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promise_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residuation_test.dir/residuation_test.cc.o"
+  "CMakeFiles/residuation_test.dir/residuation_test.cc.o.d"
+  "residuation_test"
+  "residuation_test.pdb"
+  "residuation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residuation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/residuation_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_test[1]_include.cmake")
+include("/root/repo/build/tests/guards_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/agents_test[1]_include.cmake")
+include("/root/repo/build/tests/params_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/diagnostics_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_instances_test[1]_include.cmake")
+include("/root/repo/build/tests/promise_fuzz_test[1]_include.cmake")
