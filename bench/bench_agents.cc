@@ -97,5 +97,6 @@ int main(int argc, char** argv) {
   cdes::PrintFigure1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("agents");
   return 0;
 }

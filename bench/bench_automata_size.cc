@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "guards/context.h"
 #include "sched/automata_scheduler.h"
+#include "bench_util.h"
 
 namespace cdes {
 namespace {
@@ -143,5 +144,6 @@ int main(int argc, char** argv) {
   cdes::PrintSizes();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("automata_size");
   return 0;
 }

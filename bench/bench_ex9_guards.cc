@@ -13,6 +13,7 @@
 #include "guards/context.h"
 #include "guards/workflow.h"
 #include "temporal/simplify.h"
+#include "bench_util.h"
 
 namespace cdes {
 namespace {
@@ -185,5 +186,6 @@ int main(int argc, char** argv) {
   cdes::PrintExample9();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("ex9_guards");
   return 0;
 }

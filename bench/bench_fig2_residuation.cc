@@ -11,6 +11,7 @@
 #include "common/strings.h"
 #include "algebra/residuation.h"
 #include "guards/context.h"
+#include "bench_util.h"
 
 namespace cdes {
 namespace {
@@ -133,5 +134,6 @@ int main(int argc, char** argv) {
   cdes::PrintFigure2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("fig2_residuation");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "guards/context.h"
 #include "temporal/guard_semantics.h"
 #include "temporal/simplify.h"
+#include "bench_util.h"
 
 namespace cdes {
 namespace {
@@ -140,5 +141,6 @@ int main(int argc, char** argv) {
   cdes::PrintFigure3();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("fig3_temporal");
   return 0;
 }

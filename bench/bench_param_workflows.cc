@@ -153,5 +153,6 @@ int main(int argc, char** argv) {
   cdes::PrintParamSummary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("param_workflows");
   return 0;
 }

@@ -195,5 +195,6 @@ int main(int argc, char** argv) {
   cdes::PrintAmortization();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("precompilation");
   return 0;
 }

@@ -119,5 +119,6 @@ int main(int argc, char** argv) {
   cdes::PrintPromiseTables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("promises");
   return 0;
 }

@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
   cdes::PrintRecoverySummary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("recovery");
   return 0;
 }

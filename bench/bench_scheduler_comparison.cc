@@ -168,5 +168,6 @@ int main(int argc, char** argv) {
   cdes::PrintComparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("scheduler_comparison");
   return 0;
 }

@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
   cdes::PrintBranches();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::bench::ExportBenchMetrics("travel_workflow");
   return 0;
 }

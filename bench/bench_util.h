@@ -2,14 +2,17 @@
 #define CDES_BENCH_BENCH_UTIL_H_
 
 // Shared helpers for the benchmark harness: canonical workloads and
-// drivers used across the per-figure binaries.
+// drivers used across the per-figure binaries, plus the machine-readable
+// metrics snapshot every bench binary emits (see docs/OBSERVABILITY.md).
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/strings.h"
 #include "guards/context.h"
+#include "obs/metrics.h"
 #include "params/param_workflow.h"
 #include "sched/automata_scheduler.h"
 #include "sched/guard_scheduler.h"
@@ -17,6 +20,34 @@
 #include "spec/parser.h"
 
 namespace cdes::bench {
+
+/// The process-wide registry bench runs report into; exported as JSON by
+/// ExportBenchMetrics at the end of every bench main.
+inline obs::MetricsRegistry& BenchMetrics() {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  return *registry;
+}
+
+/// Folds one driven run's stats into BenchMetrics().
+inline void RecordRunMetrics(const struct DriveResult& result);
+
+/// Writes BenchMetrics().ToJson() to BENCH_<name>.json in the working
+/// directory, so sweep tooling can diff runs without scraping console
+/// output. Returns the path it wrote (empty on failure).
+inline std::string ExportBenchMetrics(const std::string& name) {
+  std::string path = StrCat("BENCH_", name, ".json");
+  std::string json = BenchMetrics().ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench: metrics snapshot -> %s\n", path.c_str());
+  return path;
+}
 
 inline constexpr char kTravelSpec[] = R"(
 workflow travel {
@@ -74,6 +105,18 @@ struct DriveResult {
   bool consistent = true;
 };
 
+inline void RecordRunMetrics(const DriveResult& result) {
+  obs::MetricsRegistry& m = BenchMetrics();
+  m.counter("bench.runs")->Increment();
+  m.counter("bench.messages")->Increment(result.messages);
+  m.counter("bench.remote_messages")->Increment(result.remote_messages);
+  m.counter("bench.bytes")->Increment(result.bytes);
+  m.counter("bench.accepted")->Increment(result.accepted);
+  m.counter("bench.rejected")->Increment(result.rejected);
+  m.histogram("bench.sim_time_us", obs::MetricsRegistry::ExponentialBounds())
+      ->Observe(result.completion_time);
+}
+
 /// Drives `script` (event literal names, attempted in order, each run to
 /// quiescence) through a scheduler; returns timing and message stats.
 template <typename SchedulerT>
@@ -94,6 +137,7 @@ DriveResult DriveScript(WorkflowContext* ctx, SchedulerT* sched,
   out.messages = net->stats().messages;
   out.remote_messages = net->stats().remote_messages;
   out.bytes = net->stats().bytes;
+  RecordRunMetrics(out);
   return out;
 }
 
@@ -146,6 +190,7 @@ DriveResult DriveConcurrent(WorkflowContext* ctx, SchedulerT* sched,
   result->messages = net->stats().messages;
   result->remote_messages = net->stats().remote_messages;
   result->bytes = net->stats().bytes;
+  RecordRunMetrics(*result);
   return *result;
 }
 

@@ -7,16 +7,24 @@
 // baseline [2] would need. With --dot, emits the residual machines as
 // Graphviz instead.
 //
-// Usage:  ./build/examples/specc [file.wf] [--dot]
+// With --trace=<file>, compile phases (parse, guard synthesis, residual
+// machines, verification, automata baseline) are recorded as wall-clock
+// spans and written as Chrome-trace JSON (see docs/OBSERVABILITY.md).
+//
+// Usage:  ./build/examples/specc [file.wf] [--dot] [--trace=<file>]
 //         ./build/examples/specc examples/specs/travel.wf
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "algebra/residuation.h"
 #include "guards/verifier.h"
 #include "guards/workflow.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace_recorder.h"
 #include "sched/automata_scheduler.h"
 #include "spec/parser.h"
 
@@ -42,13 +50,36 @@ int main(int argc, char** argv) {
   std::string text = kDefaultSpec;
   bool dot = false;
   const char* path = nullptr;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--dot") {
       dot = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else {
       path = argv[i];
     }
   }
+
+  // Compile-phase tracing: the recorder is time-source agnostic, so the
+  // CLI records wall-clock microseconds where the runtime records SimTime.
+  obs::TraceRecorder recorder;
+  obs::TraceRecorder* tracer = trace_path != nullptr ? &recorder : nullptr;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto now_us = [t0] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+  auto phase = [&](const char* name, uint64_t started,
+                   obs::TraceRecorder::Args args = {}) {
+    if (tracer != nullptr) {
+      tracer->Complete(obs::SpanCategory::kSim, name, started,
+                       now_us() - started, 0, 0, std::move(args));
+    }
+  };
+  if (tracer != nullptr) tracer->NameProcess(0, "specc");
   if (path != nullptr) {
     std::ifstream in(path);
     if (!in) {
@@ -63,12 +94,27 @@ int main(int argc, char** argv) {
   }
 
   WorkflowContext ctx;
+  uint64_t parse_start = now_us();
   auto parsed_all = ParseWorkflows(&ctx, text);
   if (!parsed_all.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  parsed_all.status().ToString().c_str());
     return 1;
   }
+  phase("parse", parse_start,
+        {{"workflows", std::to_string(parsed_all.value().size())}});
+
+  auto write_trace = [&]() -> int {
+    if (trace_path == nullptr) return 0;
+    Status written = obs::WriteChromeTrace(recorder, trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                recorder.events().size(), trace_path);
+    return 0;
+  };
 
   if (dot) {
     for (const ParsedWorkflow& w : parsed_all.value()) {
@@ -79,7 +125,7 @@ int main(int argc, char** argv) {
                         .c_str());
       }
     }
-    return 0;
+    return write_trace();
   }
 
   for (const ParsedWorkflow& w : parsed_all.value()) {
@@ -87,7 +133,9 @@ int main(int argc, char** argv) {
                 w.name.c_str());
     std::printf("%s", FormatWorkflow(w, *ctx.alphabet()).c_str());
 
+    uint64_t compile_start = now_us();
     CompiledWorkflow compiled = CompileWorkflow(&ctx, w.spec);
+    phase("synthesize guards", compile_start, {{"workflow", w.name}});
     std::printf("\n-- guards (event-centric, localized) --\n");
     for (SymbolId s : compiled.symbols()) {
       for (EventLiteral l :
@@ -100,6 +148,7 @@ int main(int argc, char** argv) {
     }
 
     std::printf("\n-- residual machines (Figure 2) --\n");
+    uint64_t residual_start = now_us();
     for (const Dependency& dep : w.spec.dependencies()) {
       ResidualGraph graph = BuildResidualGraph(ctx.residuator(), dep.expr);
       std::printf("  %s: %zu states, %zu transitions\n", dep.name.c_str(),
@@ -113,7 +162,10 @@ int main(int argc, char** argv) {
       }
     }
 
+    phase("residual machines", residual_start, {{"workflow", w.name}});
+
     std::printf("\n-- schedule-space verification --\n");
+    uint64_t verify_start = now_us();
     auto report = VerifyScheduleSpace(&ctx, w.spec);
     if (report.ok()) {
       std::printf("  %s\n", report.value().ToString(*ctx.alphabet()).c_str());
@@ -121,7 +173,10 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", report.status().ToString().c_str());
     }
 
+    phase("verify schedule space", verify_start, {{"workflow", w.name}});
+
     std::printf("\n-- centralized automata baseline [2] --\n");
+    uint64_t automata_start = now_us();
     size_t total_states = 0, total_transitions = 0;
     for (const Dependency& dep : w.spec.dependencies()) {
       DependencyAutomaton automaton =
@@ -129,8 +184,11 @@ int main(int argc, char** argv) {
       total_states += automaton.states.size();
       total_transitions += automaton.transitions.size();
     }
+    phase("automata baseline", automata_start,
+          {{"workflow", w.name}, {"states", std::to_string(total_states)}});
     std::printf("  %zu automaton states, %zu transitions precompiled\n",
                 total_states, total_transitions);
   }
-  return 0;
+
+  return write_trace();
 }

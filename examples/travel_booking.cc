@@ -5,10 +5,17 @@
 // instances (customers) side by side.
 //
 // Build & run:  ./build/examples/travel_booking
+//
+// With --trace=<file>, the run additionally records event-lifecycle spans,
+// protocol messages, and promise windows across all three phases and writes
+// a Chrome-trace JSON loadable in Perfetto (see docs/OBSERVABILITY.md).
 
 #include <cstdio>
+#include <cstring>
 
 #include "agents/task_agent.h"
+#include "obs/chrome_trace.h"
+#include "obs/obs.h"
 #include "params/param_workflow.h"
 #include "sched/guard_scheduler.h"
 #include "spec/parser.h"
@@ -41,8 +48,24 @@ void PrintHistory(const cdes::GuardScheduler& sched,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdes;
+
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace=<file>]\n", argv[0]);
+      return 2;
+    }
+  }
+  // One recorder + registry shared by all three phases: the exported
+  // timeline shows them back to back (each phase restarts SimTime at 0).
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder* tracer = trace_path != nullptr ? &recorder : nullptr;
+  obs::MetricsRegistry* reg = trace_path != nullptr ? &metrics : nullptr;
 
   // ---------------------------------------------------------- Happy path
   {
@@ -54,10 +77,19 @@ int main() {
       return 1;
     }
     Simulator sim;
+    obs::RegisterGlobalSimulator(&sim);
+    if (tracer != nullptr) {
+      tracer->Instant(obs::SpanCategory::kSim, "phase: happy path", 0, 0, 0);
+    }
     NetworkOptions nopts;
     nopts.base_latency = 2000;  // 2ms between the two enterprises
+    nopts.tracer = tracer;
+    nopts.metrics = reg;
     Network net(&sim, 2, nopts);
-    GuardScheduler sched(&ctx, parsed.value(), &net);
+    GuardSchedulerOptions sopts;
+    sopts.tracer = tracer;
+    sopts.metrics = reg;
+    GuardScheduler sched(&ctx, parsed.value(), &net, sopts);
 
     TaskAgent buy(TaskModel::RdaTransaction("buy"), &ctx, &sched);
     (void)buy.MapEvent("start", "s_buy");
@@ -81,6 +113,7 @@ int main() {
     PrintHistory(sched, *ctx.alphabet());
     std::printf("  messages: %llu\n\n",
                 static_cast<unsigned long long>(net.stats().messages));
+    obs::UnregisterGlobalSimulator(&sim);
   }
 
   // -------------------------------------------------- Compensation path
@@ -89,10 +122,19 @@ int main() {
     WorkflowContext ctx;
     auto parsed = ParseWorkflow(&ctx, kTravelSpec);
     Simulator sim;
+    obs::RegisterGlobalSimulator(&sim);
+    if (tracer != nullptr) {
+      tracer->Instant(obs::SpanCategory::kSim, "phase: compensation", 0, 0, 0);
+    }
     NetworkOptions nopts;
     nopts.base_latency = 2000;
+    nopts.tracer = tracer;
+    nopts.metrics = reg;
     Network net(&sim, 2, nopts);
-    GuardScheduler sched(&ctx, parsed.value(), &net);
+    GuardSchedulerOptions sopts;
+    sopts.tracer = tracer;
+    sopts.metrics = reg;
+    GuardScheduler sched(&ctx, parsed.value(), &net, sopts);
 
     auto attempt = [&](const char* name) {
       auto lit = ctx.alphabet()->ParseLiteral(name);
@@ -106,6 +148,7 @@ int main() {
     attempt("~c_buy");  // the airline transaction aborted
     PrintHistory(sched, *ctx.alphabet());
     std::printf("\n");
+    obs::UnregisterGlobalSimulator(&sim);
   }
 
   // ------------------------------------- Two customers (Example 12)
@@ -118,10 +161,19 @@ int main() {
     (void)travel.InstantiateInto(&ctx, {{"cid", 8}}, &combined);
 
     Simulator sim;
+    obs::RegisterGlobalSimulator(&sim);
+    if (tracer != nullptr) {
+      tracer->Instant(obs::SpanCategory::kSim, "phase: two customers", 0, 0, 0);
+    }
     NetworkOptions nopts;
     nopts.base_latency = 2000;
+    nopts.tracer = tracer;
+    nopts.metrics = reg;
     Network net(&sim, 2, nopts);
-    GuardScheduler sched(&ctx, combined, &net);
+    GuardSchedulerOptions sopts;
+    sopts.tracer = tracer;
+    sopts.metrics = reg;
+    GuardScheduler sched(&ctx, combined, &net, sopts);
 
     auto attempt = [&](const char* name) {
       auto lit = ctx.alphabet()->ParseLiteral(name);
@@ -136,6 +188,18 @@ int main() {
     attempt("c_buy[7]");
     attempt("~c_buy[8]");
     PrintHistory(sched, *ctx.alphabet());
+    obs::UnregisterGlobalSimulator(&sim);
+  }
+
+  if (trace_path != nullptr) {
+    Status written = obs::WriteChromeTrace(recorder, trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                recorder.events().size(), trace_path);
+    std::printf("metrics: %s\n", metrics.ToJson().c_str());
   }
   return 0;
 }

@@ -1,12 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace cdes {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+// Sim-time source for log/trace correlation (see SetLogSimTimeSource).
+// Registration happens at quiescent points (simulator setup/teardown), so a
+// relaxed pair read is adequate; the fn is read before the ctx it receives.
+std::atomic<uint64_t (*)(const void*)> g_sim_time_fn{nullptr};
+std::atomic<const void*> g_sim_time_ctx{nullptr};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -29,11 +37,49 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+void SetLogSimTimeSource(const void* ctx, uint64_t (*fn)(const void*)) {
+  // Detach before swapping the context so a concurrent reader never pairs
+  // the new fn with the old ctx.
+  g_sim_time_fn.store(nullptr);
+  g_sim_time_ctx.store(ctx);
+  g_sim_time_fn.store(fn);
+}
+
 namespace internal_logging {
+
+std::string FormatLogPrefix(LogLevel level, const char* file, int line) {
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000000;
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &seconds);
+#else
+  localtime_r(&seconds, &tm_buf);
+#endif
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix),
+                "[%s%02d%02d %02d:%02d:%02d.%06lld %s:%d",
+                LevelTag(level), tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<long long>(micros), file, line);
+  std::string out = prefix;
+  if (auto* fn = g_sim_time_fn.load()) {
+    char sim[32];
+    std::snprintf(sim, sizeof(sim), " @%llu" "us",
+                  static_cast<unsigned long long>(fn(g_sim_time_ctx.load())));
+    out += sim;
+  }
+  out += "] ";
+  return out;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+  stream_ << FormatLogPrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {

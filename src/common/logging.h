@@ -13,7 +13,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Installs a source for the current *simulated* time, appended to every
+/// log-line prefix as "@<tick>us" so logs correlate with exported traces.
+/// `fn` is called with `ctx` at line-construction time; both null detaches.
+/// The registration entry point is obs::RegisterGlobalSimulator — this
+/// low-level hook exists so common/ does not depend on the obs layer.
+void SetLogSimTimeSource(const void* ctx, uint64_t (*fn)(const void*));
+
 namespace internal_logging {
+
+/// The prefix of a log line: "[<tag><month><day> <wall time> <file>:<line>"
+/// plus " @<tick>us" when a sim-time source is installed, then "] ".
+/// Exposed for tests.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
 
 /// Stream-style log-line builder; emits on destruction. FATAL aborts.
 class LogMessage {

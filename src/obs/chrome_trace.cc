@@ -1,0 +1,105 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace cdes::obs {
+namespace {
+
+const char* PhaseCode(TraceEvent::Phase phase) {
+  switch (phase) {
+    case TraceEvent::Phase::kComplete:
+      return "X";
+    case TraceEvent::Phase::kInstant:
+      return "i";
+    case TraceEvent::Phase::kAsyncBegin:
+      return "b";
+    case TraceEvent::Phase::kAsyncEnd:
+      return "e";
+  }
+  return "i";
+}
+
+void AppendMetadataEvent(std::string* out, const char* name, int pid,
+                         uint64_t tid, bool with_tid,
+                         const std::string& value, bool* first) {
+  *out += StrCat(*first ? "" : ",", "\n  {\"name\": \"", name,
+                 "\", \"ph\": \"M\", \"pid\": ", pid);
+  if (with_tid) *out += StrCat(", \"tid\": ", tid);
+  *out += StrCat(", \"args\": {\"name\": \"", JsonEscape(value), "\"}}");
+  *first = false;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder& recorder) {
+  // Sort by timestamp (stable: same-instant events keep recording order,
+  // which is also causal order under the deterministic simulator).
+  std::vector<size_t> order(recorder.events().size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return recorder.events()[a].ts < recorder.events()[b].ts;
+  });
+
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [pid, name] : recorder.process_names()) {
+    AppendMetadataEvent(&out, "process_name", pid, 0, false, name, &first);
+  }
+  for (const auto& [key, name] : recorder.lane_names()) {
+    AppendMetadataEvent(&out, "thread_name", key.first, key.second, true,
+                        name, &first);
+  }
+  for (size_t index : order) {
+    const TraceEvent& event = recorder.events()[index];
+    out += StrCat(first ? "" : ",", "\n  {\"name\": \"",
+                  JsonEscape(event.name), "\", \"cat\": \"",
+                  SpanCategoryName(event.category), "\", \"ph\": \"",
+                  PhaseCode(event.phase), "\", \"ts\": ", event.ts,
+                  ", \"pid\": ", event.pid, ", \"tid\": ", event.tid);
+    if (event.phase == TraceEvent::Phase::kComplete) {
+      out += StrCat(", \"dur\": ", event.dur);
+    }
+    if (event.phase == TraceEvent::Phase::kAsyncBegin ||
+        event.phase == TraceEvent::Phase::kAsyncEnd) {
+      out += StrCat(", \"id\": ", event.id);
+    }
+    if (event.phase == TraceEvent::Phase::kInstant) {
+      out += ", \"s\": \"t\"";
+    }
+    if (!event.args.empty()) {
+      out += ", \"args\": {";
+      for (size_t i = 0; i < event.args.size(); ++i) {
+        out += StrCat(i == 0 ? "" : ", ", "\"",
+                      JsonEscape(event.args[i].first), "\": \"",
+                      JsonEscape(event.args[i].second), "\"");
+      }
+      out += "}";
+    }
+    out += "}";
+    first = false;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
+  }
+  std::string json = ChromeTraceJson(recorder);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal(StrCat("short write to ", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace cdes::obs

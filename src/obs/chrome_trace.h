@@ -1,0 +1,26 @@
+#ifndef CDES_OBS_CHROME_TRACE_H_
+#define CDES_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace_recorder.h"
+
+namespace cdes::obs {
+
+/// Renders the recorder's events as Chrome-trace / Perfetto JSON (the
+/// "JSON Array with metadata" flavor: {"traceEvents": [...]}). Each
+/// simulated site becomes a trace "process" and each event actor a
+/// "thread"; open async spans are left open (Perfetto renders them as
+/// unfinished). Events are emitted sorted by timestamp.
+///
+/// Open the result at https://ui.perfetto.dev or chrome://tracing.
+std::string ChromeTraceJson(const TraceRecorder& recorder);
+
+/// Writes ChromeTraceJson(recorder) to `path`.
+Status WriteChromeTrace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+}  // namespace cdes::obs
+
+#endif  // CDES_OBS_CHROME_TRACE_H_

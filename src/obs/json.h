@@ -1,0 +1,58 @@
+#ifndef CDES_OBS_JSON_H_
+#define CDES_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cdes::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view text);
+
+/// A minimal JSON document tree, used by tests to validate exported traces
+/// and metric snapshots and by tools that read BENCH_*.json trajectories.
+/// Numbers are kept as doubles (adequate for the magnitudes we emit).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Strict recursive-descent parse of a complete JSON document. Trailing
+/// garbage, unterminated structures, and malformed literals are errors.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace cdes::obs
+
+#endif  // CDES_OBS_JSON_H_

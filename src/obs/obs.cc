@@ -1,0 +1,34 @@
+#include "obs/obs.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace cdes::obs {
+namespace {
+
+std::atomic<const Simulator*> g_simulator{nullptr};
+
+uint64_t SimulatorNow(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now();
+}
+
+}  // namespace
+
+void RegisterGlobalSimulator(const Simulator* sim) {
+  g_simulator.store(sim);
+  if (sim != nullptr) {
+    SetLogSimTimeSource(sim, &SimulatorNow);
+  } else {
+    SetLogSimTimeSource(nullptr, nullptr);
+  }
+}
+
+void UnregisterGlobalSimulator(const Simulator* sim) {
+  if (g_simulator.load() == sim) RegisterGlobalSimulator(nullptr);
+}
+
+const Simulator* GlobalSimulator() { return g_simulator.load(); }
+
+}  // namespace cdes::obs

@@ -1,0 +1,61 @@
+#ifndef CDES_OBS_OBS_H_
+#define CDES_OBS_OBS_H_
+
+// Umbrella for the runtime observability layer: tracing + metrics handles
+// that the schedulers, network, simulator, and actors thread through their
+// option structs. Everything here is optional — a null TraceRecorder and a
+// null MetricsRegistry cost one branch per instrumentation site.
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace cdes {
+class Alphabet;
+class Simulator;
+}  // namespace cdes
+
+namespace cdes::obs {
+
+/// The pair of handles a component needs to be observable. Either may be
+/// null; components that always need metrics (the stats-struct absorption)
+/// fall back to a privately owned registry.
+struct Observability {
+  TraceRecorder* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+/// Pre-resolved instrumentation handles handed to each EventActor by its
+/// scheduler, so the actor hot path never does registry lookups. All
+/// pointers null ⇒ the actor records nothing beyond its normal work.
+struct ActorObs {
+  TraceRecorder* tracer = nullptr;
+  /// Names literals in span labels; must outlive the actors when set.
+  const Alphabet* alphabet = nullptr;
+  /// Timestamps actor-side instants; must outlive the actors when set.
+  const Simulator* sim = nullptr;
+  /// ReduceGuard applications per CurrentGuard evaluation.
+  Histogram* reduction_steps = nullptr;
+  /// Parked-queue depth observed at each park.
+  Histogram* parked_depth = nullptr;
+  Counter* parks = nullptr;
+};
+
+/// Registers `sim` as the process's reference clock for log correlation:
+/// subsequent CDES_LOG lines carry "@<tick>us" so operators can line logs
+/// up with exported traces. Pass nullptr (or destroy via
+/// UnregisterGlobalSimulator) to detach. Only one simulator is tracked;
+/// re-registering replaces the previous one.
+void RegisterGlobalSimulator(const Simulator* sim);
+
+/// Detaches `sim` if it is the registered simulator (no-op otherwise —
+/// safe to call from destructors of simulators that never registered).
+void UnregisterGlobalSimulator(const Simulator* sim);
+
+/// The registered simulator, or nullptr.
+const Simulator* GlobalSimulator();
+
+}  // namespace cdes::obs
+
+#endif  // CDES_OBS_OBS_H_

@@ -1,0 +1,110 @@
+#include "obs/trace_recorder.h"
+
+namespace cdes::obs {
+
+const char* SpanCategoryName(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::kLifecycle:
+      return "lifecycle";
+    case SpanCategory::kMessage:
+      return "message";
+    case SpanCategory::kPromise:
+      return "promise";
+    case SpanCategory::kGuard:
+      return "guard";
+    case SpanCategory::kRecovery:
+      return "recovery";
+    case SpanCategory::kSim:
+      return "sim";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::NameProcess(int pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+void TraceRecorder::NameLane(int pid, uint64_t tid, std::string name) {
+  lane_names_[{pid, tid}] = std::move(name);
+}
+
+void TraceRecorder::Instant(SpanCategory category, std::string name,
+                            uint64_t ts, int pid, uint64_t tid, Args args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.pid = pid;
+  event.tid = tid;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Complete(SpanCategory category, std::string name,
+                             uint64_t ts, uint64_t dur, int pid, uint64_t tid,
+                             Args args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.dur = dur;
+  event.pid = pid;
+  event.tid = tid;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+uint64_t TraceRecorder::BeginAsync(SpanCategory category, std::string name,
+                                   const std::string& key, uint64_t ts,
+                                   int pid, uint64_t tid, Args args) {
+  if (open_async_.count(key)) return 0;
+  uint64_t id = next_id_++;
+  open_async_[key] = OpenSpan{id, category, name};
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kAsyncBegin;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.pid = pid;
+  event.tid = tid;
+  event.id = id;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+  return id;
+}
+
+bool TraceRecorder::EndAsync(const std::string& key, uint64_t ts, int pid,
+                             uint64_t tid, Args args) {
+  auto it = open_async_.find(key);
+  if (it == open_async_.end()) return false;
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kAsyncEnd;
+  event.category = it->second.category;
+  event.name = it->second.name;
+  event.ts = ts;
+  event.pid = pid;
+  event.tid = tid;
+  event.id = it->second.id;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+  open_async_.erase(it);
+  return true;
+}
+
+size_t TraceRecorder::CountEvents(SpanCategory category,
+                                  std::string_view name_prefix,
+                                  TraceEvent::Phase phase) const {
+  size_t n = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.category != category || event.phase != phase) continue;
+    if (std::string_view(event.name).substr(0, name_prefix.size()) ==
+        name_prefix) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace cdes::obs

@@ -1,0 +1,123 @@
+#ifndef CDES_OBS_TRACE_RECORDER_H_
+#define CDES_OBS_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cdes::obs {
+
+/// Span/instant categories of the runtime trace taxonomy (see
+/// docs/OBSERVABILITY.md). The category becomes the Chrome-trace `cat`
+/// field, so Perfetto can filter by subsystem.
+enum class SpanCategory {
+  kLifecycle,  // event attempt → parked → occur / reject / doomed
+  kMessage,    // network send → deliver, by runtime-message kind
+  kPromise,    // promise request → grant
+  kGuard,      // guard reductions
+  kRecovery,   // durable-log replay
+  kSim,        // simulator / driver-level phases
+};
+
+const char* SpanCategoryName(SpanCategory category);
+
+/// One recorded trace event. Timestamps are caller-supplied microseconds:
+/// the runtime records SimTime ticks, tools like specc record wall-clock —
+/// the recorder itself is time-source agnostic (which is also what keeps it
+/// usable from deterministic-replay contexts).
+struct TraceEvent {
+  enum class Phase {
+    kComplete,    // Chrome "X": ts + dur
+    kInstant,     // Chrome "i"
+    kAsyncBegin,  // Chrome "b": paired by (category, id)
+    kAsyncEnd,    // Chrome "e"
+  };
+
+  Phase phase = Phase::kInstant;
+  SpanCategory category = SpanCategory::kLifecycle;
+  std::string name;
+  uint64_t ts = 0;
+  uint64_t dur = 0;  // kComplete only
+  /// Chrome "process": the simulated site.
+  int pid = 0;
+  /// Chrome "thread": the lane within a site (one per event actor).
+  uint64_t tid = 0;
+  /// Async correlation id (kAsyncBegin/kAsyncEnd).
+  uint64_t id = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Records typed spans and instants for one run. Instrumentation sites hold
+/// a `TraceRecorder*` that is null by default; every call site is guarded by
+/// a branch on that pointer, so an uninstrumented run pays one predictable
+/// branch and nothing else.
+///
+/// Async spans (parked windows, in-flight messages, pending promises) are
+/// opened under a caller-chosen string key and closed by the same key, which
+/// spares call sites from threading span ids through the runtime's message
+/// plumbing. Keys must be unique among *open* spans; reusing a key after the
+/// span closed is fine.
+class TraceRecorder {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Names a site ("process") / lane ("thread") for the exporter.
+  void NameProcess(int pid, std::string name);
+  void NameLane(int pid, uint64_t tid, std::string name);
+
+  void Instant(SpanCategory category, std::string name, uint64_t ts, int pid,
+               uint64_t tid, Args args = {});
+  void Complete(SpanCategory category, std::string name, uint64_t ts,
+                uint64_t dur, int pid, uint64_t tid, Args args = {});
+
+  /// Opens an async span under `key`; returns its correlation id. If `key`
+  /// is already open the existing span is left untouched and 0 is returned.
+  uint64_t BeginAsync(SpanCategory category, std::string name,
+                      const std::string& key, uint64_t ts, int pid,
+                      uint64_t tid, Args args = {});
+  /// Closes the async span opened under `key`. Returns false (and records
+  /// nothing) when no such span is open.
+  bool EndAsync(const std::string& key, uint64_t ts, int pid, uint64_t tid,
+                Args args = {});
+  bool HasOpenAsync(const std::string& key) const {
+    return open_async_.count(key) != 0;
+  }
+  size_t open_async_count() const { return open_async_.size(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Number of recorded events in `category` whose name starts with
+  /// `name_prefix` and whose phase is `phase` (test/assertion helper).
+  size_t CountEvents(SpanCategory category, std::string_view name_prefix,
+                     TraceEvent::Phase phase) const;
+
+  const std::map<int, std::string>& process_names() const {
+    return process_names_;
+  }
+  const std::map<std::pair<int, uint64_t>, std::string>& lane_names() const {
+    return lane_names_;
+  }
+
+ private:
+  struct OpenSpan {
+    uint64_t id;
+    SpanCategory category;
+    std::string name;
+  };
+
+  std::vector<TraceEvent> events_;
+  std::map<std::string, OpenSpan> open_async_;
+  uint64_t next_id_ = 1;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, uint64_t>, std::string> lane_names_;
+};
+
+}  // namespace cdes::obs
+
+#endif  // CDES_OBS_TRACE_RECORDER_H_

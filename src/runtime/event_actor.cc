@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algebra/semantics.h"
+#include "sim/simulator.h"
 #include "temporal/reduction.h"
 
 namespace cdes {
@@ -126,12 +127,17 @@ EventActor::EventActor(ActorHost* host, SymbolId symbol, int site,
                        const Guard* positive_guard,
                        const Guard* negative_guard,
                        const EventAttributes& positive_attrs,
-                       const EventAttributes& negative_attrs)
+                       const EventAttributes& negative_attrs,
+                       const obs::ActorObs* obs)
     : host_(host), symbol_(symbol), site_(site),
       positive_guard_(positive_guard), negative_guard_(negative_guard),
-      positive_attrs_(positive_attrs), negative_attrs_(negative_attrs) {}
+      positive_attrs_(positive_attrs), negative_attrs_(negative_attrs),
+      obs_(obs) {}
 
 const Guard* EventActor::CurrentGuard(EventLiteral literal) const {
+  if (obs_ != nullptr && obs_->reduction_steps != nullptr) {
+    obs_->reduction_steps->Observe(heard_.size() + promises_.size());
+  }
   const Guard* g = CompiledGuard(literal);
   // Occurrences must be assimilated in stamp order for ◇E residuation to be
   // sound; heard_ is kept sorted by stamp.
@@ -285,6 +291,18 @@ void EventActor::Attempt(EventLiteral literal, AttemptCallback done) {
   }
   if (done) done(Decision::kParked);
   parked_.push_back(Parked{literal, std::move(done)});
+  if (obs_ != nullptr) {
+    if (obs_->parks != nullptr) {
+      obs_->parks->Increment();
+      obs_->parked_depth->Observe(parked_.size());
+    }
+    if (obs_->tracer != nullptr && obs_->alphabet != nullptr &&
+        obs_->sim != nullptr) {
+      obs_->tracer->Instant(obs::SpanCategory::kLifecycle,
+                            "park " + obs_->alphabet->LiteralName(literal),
+                            obs_->sim->now(), site_, symbol_);
+    }
+  }
   EmitNeeds(literal, g);
   Reevaluate();
 }

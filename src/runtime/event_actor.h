@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algebra/residuation.h"
+#include "obs/obs.h"
 #include "runtime/messages.h"
 #include "sched/scheduler.h"
 #include "spec/ast.h"
@@ -62,10 +63,13 @@ class ActorHost {
 /// network reorders announcements.
 class EventActor {
  public:
+  /// `obs` (optional) carries pre-resolved instrumentation handles from the
+  /// owning scheduler; it must outlive the actor when non-null.
   EventActor(ActorHost* host, SymbolId symbol, int site,
              const Guard* positive_guard, const Guard* negative_guard,
              const EventAttributes& positive_attrs,
-             const EventAttributes& negative_attrs);
+             const EventAttributes& negative_attrs,
+             const obs::ActorObs* obs = nullptr);
 
   EventActor(const EventActor&) = delete;
   EventActor& operator=(const EventActor&) = delete;
@@ -148,6 +152,7 @@ class EventActor {
   const Guard* negative_guard_;
   EventAttributes positive_attrs_;
   EventAttributes negative_attrs_;
+  const obs::ActorObs* obs_;
 
   std::optional<EventLiteral> decided_;
   /// (stamp, literal) occurrences heard, kept sorted by stamp.

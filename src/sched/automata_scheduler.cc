@@ -47,7 +47,9 @@ DependencyAutomaton BuildDependencyAutomaton(Residuator* residuator,
 AutomataScheduler::AutomataScheduler(WorkflowContext* ctx,
                                      const ParsedWorkflow& workflow,
                                      Network* network, int center_site,
-                                     size_t message_bytes)
+                                     size_t message_bytes,
+                                     obs::MetricsRegistry* metrics,
+                                     obs::TraceRecorder* tracer)
     : ctx_(ctx), network_(network), center_site_(center_site),
       message_bytes_(message_bytes) {
   for (const Dependency& dep : workflow.spec.dependencies()) {
@@ -58,6 +60,8 @@ AutomataScheduler::AutomataScheduler(WorkflowContext* ctx,
     const AgentDecl* agent = workflow.FindAgent(decl.agent);
     sites_[decl.symbol] = agent != nullptr ? agent->site : 0;
   }
+  cobs_.Init(metrics, tracer, ctx_->alphabet(), network_->sim(), center_site_,
+             name(), sites_);
 }
 
 size_t AutomataScheduler::total_states() const {
@@ -79,6 +83,8 @@ int AutomataScheduler::SiteOf(SymbolId symbol) const {
 
 void AutomataScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
   int agent_site = SiteOf(literal.symbol());
+  cobs_.CountAttempt(literal, agent_site);
+  if (done) done = cobs_.Wrap(literal, std::move(done));
   network_->Send(agent_site, center_site_, message_bytes_,
                  [this, literal, done = std::move(done), agent_site] {
                    HandleAttempt(literal, done, agent_site);
@@ -87,6 +93,7 @@ void AutomataScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
 
 void AutomataScheduler::Reply(int agent_site, const AttemptCallback& done,
                               Decision decision) {
+  cobs_.CountDecision(decision);
   if (!done) return;
   network_->Send(center_site_, agent_site, message_bytes_,
                  [done, decision] { done(decision); });
@@ -113,6 +120,7 @@ void AutomataScheduler::HandleAttempt(EventLiteral literal,
   }
   Reply(agent_site, done, Decision::kParked);
   parked_.push_back(Parked{literal, std::move(done), agent_site});
+  cobs_.OnParked(parked_.size());
 }
 
 bool AutomataScheduler::CanAcceptNow(EventLiteral literal) const {
@@ -150,6 +158,7 @@ bool AutomataScheduler::CanEverAccept(EventLiteral literal) const {
 }
 
 void AutomataScheduler::ApplyOccurrence(EventLiteral literal) {
+  cobs_.CountOccurrence(literal);
   decided_[literal.symbol()] = literal;
   history_.push_back(literal);
   for (size_t i = 0; i < automata_.size(); ++i) {

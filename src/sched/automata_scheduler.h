@@ -6,8 +6,9 @@
 #include <vector>
 
 #include "guards/workflow.h"
-#include "sim/network.h"
+#include "sched/central_obs.h"
 #include "sched/scheduler.h"
+#include "sim/network.h"
 #include "spec/ast.h"
 
 namespace cdes {
@@ -41,9 +42,15 @@ DependencyAutomaton BuildDependencyAutomaton(Residuator* residuator,
 /// dependency alphabet, while guard expressions stay succinct.
 class AutomataScheduler : public Scheduler {
  public:
+  /// `metrics`/`tracer` (optional) install the observability layer: "sched.*"
+  /// counters, decision-latency histograms, and lifecycle spans, same
+  /// taxonomy as GuardScheduler (see docs/OBSERVABILITY.md). When neither is
+  /// given, a private registry backs the counters at no extra cost.
   AutomataScheduler(WorkflowContext* ctx, const ParsedWorkflow& workflow,
                     Network* network, int center_site = 0,
-                    size_t message_bytes = 48);
+                    size_t message_bytes = 48,
+                    obs::MetricsRegistry* metrics = nullptr,
+                    obs::TraceRecorder* tracer = nullptr);
 
   void Attempt(EventLiteral literal, AttemptCallback done) override;
   const Trace& history() const override { return history_; }
@@ -61,6 +68,9 @@ class AutomataScheduler : public Scheduler {
   const std::vector<DependencyAutomaton>& automata() const {
     return automata_;
   }
+  /// The registry the "sched.*" metrics report into (installed or private).
+  obs::MetricsRegistry* metrics() const { return cobs_.metrics(); }
+  obs::TraceRecorder* tracer() const { return cobs_.tracer(); }
 
  private:
   struct Parked {
@@ -89,6 +99,7 @@ class AutomataScheduler : public Scheduler {
   std::vector<Parked> parked_;
   Trace history_;
   std::vector<std::function<void(EventLiteral)>> listeners_;
+  CentralSchedulerObs cobs_;
 };
 
 }  // namespace cdes

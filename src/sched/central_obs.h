@@ -1,0 +1,172 @@
+#ifndef CDES_SCHED_CENTRAL_OBS_H_
+#define CDES_SCHED_CENTRAL_OBS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/obs.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "spec/ast.h"
+
+namespace cdes {
+
+/// Observability shared by the two centralized baselines (residuation and
+/// automata): both funnel every attempt through one center site, so their
+/// lifecycle instrumentation is identical. Counter names match the
+/// distributed scheduler's "sched.*" namespace so runs are comparable
+/// metric-for-metric when each scheduler reports into its own registry.
+///
+/// As everywhere in the obs layer: a null tracer costs one branch per site,
+/// and when no registry is installed a privately owned one backs the
+/// always-on counters (same cost as the plain struct fields they replace).
+class CentralSchedulerObs {
+ public:
+  void Init(obs::MetricsRegistry* metrics, obs::TraceRecorder* tracer,
+            const Alphabet* alphabet, const Simulator* sim, int center_site,
+            const std::string& scheduler_name,
+            const std::map<SymbolId, int>& sites) {
+    if (metrics != nullptr) {
+      metrics_ = metrics;
+    } else {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+      metrics_ = owned_metrics_.get();
+    }
+    tracer_ = tracer;
+    alphabet_ = alphabet;
+    sim_ = sim;
+    center_site_ = center_site;
+    observe_lifecycle_ = metrics != nullptr || tracer != nullptr;
+    attempts_ = metrics_->counter("sched.attempts");
+    occurrences_ = metrics_->counter("sched.occurrences");
+    accepted_ = metrics_->counter("sched.decisions.accepted");
+    rejected_ = metrics_->counter("sched.decisions.rejected");
+    parks_ = metrics_->counter("sched.parks");
+    violations_ = metrics_->counter("sched.violations");
+    if (observe_lifecycle_) {
+      decision_latency_ = metrics_->histogram("sched.decision_latency_us");
+      parked_depth_ = metrics_->histogram("sched.parked_depth");
+    }
+    if (tracer_ != nullptr) {
+      tracer_->NameProcess(center_site_,
+                           StrCat("center ", scheduler_name,
+                                  " (site ", center_site_, ")"));
+      for (const auto& [symbol, site] : sites) {
+        if (site != center_site_) {
+          tracer_->NameProcess(site, StrCat("site ", site));
+        }
+        tracer_->NameLane(center_site_, symbol,
+                          StrCat("event ", alphabet_->Name(symbol)));
+      }
+    }
+  }
+
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::TraceRecorder* tracer() const { return tracer_; }
+
+  /// Every arriving attempt, traced at the attempting agent's site.
+  void CountAttempt(EventLiteral literal, int agent_site) {
+    attempts_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(obs::SpanCategory::kLifecycle,
+                       StrCat("attempt ", alphabet_->LiteralName(literal)),
+                       sim_->now(), agent_site, literal.symbol());
+    }
+  }
+
+  /// Wraps an attempt callback with parked-span and decision-latency
+  /// tracking. Call only for non-null callbacks; the per-decision counters
+  /// live in CountDecision so fire-and-forget attempts still count.
+  AttemptCallback Wrap(EventLiteral literal, AttemptCallback done) {
+    if (!observe_lifecycle_) return done;
+    SimTime start = sim_->now();
+    std::string key = StrCat("cpark:", attempt_seq_++);
+    return [this, literal, start, key = std::move(key),
+            done = std::move(done)](Decision d) {
+      SimTime now = sim_->now();
+      std::string name = alphabet_->LiteralName(literal);
+      if (d == Decision::kParked) {
+        if (tracer_ != nullptr) {
+          tracer_->BeginAsync(obs::SpanCategory::kLifecycle,
+                              StrCat("parked ", name), key, now, center_site_,
+                              literal.symbol());
+        }
+        done(d);
+        return;
+      }
+      if (tracer_ != nullptr) {
+        if (tracer_->HasOpenAsync(key)) {
+          tracer_->EndAsync(key, now, center_site_, literal.symbol(),
+                            {{"outcome", DecisionToString(d)}});
+        }
+        tracer_->Instant(obs::SpanCategory::kLifecycle,
+                         StrCat(d == Decision::kAccepted ? "enabled "
+                                                         : "rejected ",
+                                name),
+                         now, center_site_, literal.symbol());
+      }
+      if (decision_latency_ != nullptr) {
+        decision_latency_->Observe(now - start);
+      }
+      done(d);
+    };
+  }
+
+  /// Every decision made at the center (parks are counted by OnParked when
+  /// the attempt actually joins the queue).
+  void CountDecision(Decision d) {
+    switch (d) {
+      case Decision::kAccepted:
+        accepted_->Increment();
+        break;
+      case Decision::kRejected:
+        rejected_->Increment();
+        break;
+      case Decision::kParked:
+        break;
+    }
+  }
+
+  void OnParked(size_t depth_after) {
+    parks_->Increment();
+    if (parked_depth_ != nullptr) {
+      parked_depth_->Observe(depth_after);
+    }
+  }
+
+  void CountOccurrence(EventLiteral literal) {
+    occurrences_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(obs::SpanCategory::kLifecycle,
+                       StrCat("occur ", alphabet_->LiteralName(literal)),
+                       sim_->now(), center_site_, literal.symbol());
+    }
+  }
+
+  void CountViolation() { violations_->Increment(); }
+
+ private:
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  const Alphabet* alphabet_ = nullptr;
+  const Simulator* sim_ = nullptr;
+  int center_site_ = 0;
+  bool observe_lifecycle_ = false;
+  obs::Counter* attempts_ = nullptr;
+  obs::Counter* occurrences_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* parks_ = nullptr;
+  obs::Counter* violations_ = nullptr;
+  obs::Histogram* decision_latency_ = nullptr;
+  obs::Histogram* parked_depth_ = nullptr;
+  uint64_t attempt_seq_ = 0;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_SCHED_CENTRAL_OBS_H_

@@ -37,6 +37,13 @@ std::vector<ParkedDiagnosis> DiagnoseParked(WorkflowContext* ctx,
           break;
         }
       }
+      if (diagnosis.doomed && scheduler->tracer() != nullptr) {
+        scheduler->tracer()->Instant(
+            obs::SpanCategory::kLifecycle,
+            StrCat("doomed ", ctx->alphabet()->LiteralName(literal)),
+            scheduler->network()->sim()->now(), actor->site(), symbol,
+            {{"guard", diagnosis.guard}});
+      }
       out.push_back(std::move(diagnosis));
     }
   }

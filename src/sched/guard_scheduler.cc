@@ -22,8 +22,44 @@ GuardScheduler::GuardScheduler(WorkflowContext* ctx,
                                Network* network,
                                const GuardSchedulerOptions& options)
     : ctx_(ctx), network_(network), options_(options) {
+  if (options.metrics != nullptr) {
+    metrics_ = options.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = options.tracer;
+  observe_lifecycle_ = options.metrics != nullptr || tracer_ != nullptr;
+  sent_announcements_ = metrics_->counter("sched.msgs.announce");
+  sent_promises_ = metrics_->counter("sched.msgs.promise");
+  sent_promise_requests_ = metrics_->counter("sched.msgs.promise_request");
+  sent_triggers_ = metrics_->counter("sched.msgs.trigger");
+  attempts_ = metrics_->counter("sched.attempts");
+  occurrences_ = metrics_->counter("sched.occurrences");
+  violation_counter_ = metrics_->counter("sched.violations");
+  accepted_ = metrics_->counter("sched.decisions.accepted");
+  rejected_ = metrics_->counter("sched.decisions.rejected");
+  actor_obs_.tracer = tracer_;
+  actor_obs_.alphabet = ctx_->alphabet();
+  actor_obs_.sim = network_->sim();
+  if (observe_lifecycle_) {
+    decision_latency_ = metrics_->histogram("sched.decision_latency_us");
+    actor_obs_.reduction_steps =
+        metrics_->histogram("sched.guard_reduction_steps");
+    actor_obs_.parked_depth = metrics_->histogram("sched.parked_depth");
+    actor_obs_.parks = metrics_->counter("sched.parks");
+  }
   Status installed = AddInstance(workflow);
   CDES_CHECK(installed.ok()) << installed;
+}
+
+GuardSchedulerStats GuardScheduler::stats() const {
+  GuardSchedulerStats out;
+  out.announcements = sent_announcements_->value();
+  out.promises = sent_promises_->value();
+  out.promise_requests = sent_promise_requests_->value();
+  out.triggers = sent_triggers_->value();
+  return out;
 }
 
 Status GuardScheduler::AddInstance(const ParsedWorkflow& workflow) {
@@ -61,7 +97,12 @@ Status GuardScheduler::AddInstance(const ParsedWorkflow& workflow) {
     EventAttributes negative;
     actors_[symbol] = std::make_unique<EventActor>(
         this, symbol, site, compiled.GuardFor(pos), compiled.GuardFor(neg_lit),
-        attrs, negative);
+        attrs, negative, &actor_obs_);
+    if (tracer_ != nullptr) {
+      tracer_->NameProcess(site, StrCat("site ", site));
+      tracer_->NameLane(site, symbol,
+                        StrCat("actor ", ctx_->alphabet()->Name(symbol)));
+    }
   }
   // Static subscriptions: an actor hears about every symbol its guards
   // mention (reduction can only shrink the mentioned set). Instances are
@@ -85,9 +126,11 @@ const Guard* GuardScheduler::CompiledGuardOf(EventLiteral literal) const {
 }
 
 void GuardScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
+  attempts_->Increment();
   if (impossible_) {
     // Some dependency is unsatisfiable: no event can ever be part of an
     // acceptable computation.
+    rejected_->Increment();
     if (done) done(Decision::kRejected);
     return;
   }
@@ -97,13 +140,55 @@ void GuardScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
     // (§2): it occurs immediately and is not recorded. (Recording it
     // would also break trace validity for looping tasks, whose repeated
     // internal events are exactly the insignificant ones — §5.2.)
+    accepted_->Increment();
     if (done) done(Decision::kAccepted);
     return;
   }
   EventActor* actor = it->second.get();
+  if (observe_lifecycle_) {
+    done = WrapAttempt(literal, actor->site(), std::move(done));
+  }
   network_->sim()->Schedule(0, [actor, literal, done = std::move(done)] {
     actor->Attempt(literal, done);
   });
+}
+
+AttemptCallback GuardScheduler::WrapAttempt(EventLiteral literal, int site,
+                                            AttemptCallback done) {
+  uint64_t attempt_id = ++attempt_seq_;
+  SimTime t0 = network_->sim()->now();
+  uint64_t lane = literal.symbol();
+  std::string name = ctx_->alphabet()->LiteralName(literal);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(obs::SpanCategory::kLifecycle, StrCat("attempt ", name),
+                     t0, site, lane);
+  }
+  return [this, t0, attempt_id, site, lane, name = std::move(name),
+          done = std::move(done)](Decision decision) {
+    SimTime now = network_->sim()->now();
+    std::string park_key = StrCat("park:", attempt_id);
+    if (decision == Decision::kParked) {
+      if (tracer_ != nullptr) {
+        tracer_->BeginAsync(obs::SpanCategory::kLifecycle,
+                            StrCat("parked ", name), park_key, now, site,
+                            lane);
+      }
+    } else {
+      if (tracer_ != nullptr) {
+        tracer_->EndAsync(park_key, now, site, lane,
+                          {{"outcome", DecisionToString(decision)}});
+        tracer_->Instant(obs::SpanCategory::kLifecycle,
+                         StrCat(decision == Decision::kAccepted
+                                    ? "enabled "
+                                    : "rejected ",
+                                name),
+                         now, site, lane);
+      }
+      if (decision_latency_ != nullptr) decision_latency_->Observe(now - t0);
+      (decision == Decision::kAccepted ? accepted_ : rejected_)->Increment();
+    }
+    if (done) done(decision);
+  };
 }
 
 const Guard* GuardScheduler::CurrentGuardOf(EventLiteral literal) const {
@@ -152,25 +237,74 @@ bool GuardScheduler::HistoryConsistent(bool require_satisfaction) const {
 
 namespace {
 
-void CountMessage(GuardSchedulerStats* stats, RuntimeMessageKind kind,
-                  uint64_t n = 1) {
+const char* MessageKindName(RuntimeMessageKind kind) {
   switch (kind) {
     case RuntimeMessageKind::kAnnounce:
-      stats->announcements += n;
+      return "announce";
+    case RuntimeMessageKind::kPromise:
+      return "promise";
+    case RuntimeMessageKind::kRequestPromise:
+      return "promise_request";
+    case RuntimeMessageKind::kTrigger:
+      return "trigger";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void GuardScheduler::CountMessage(RuntimeMessageKind kind) {
+  switch (kind) {
+    case RuntimeMessageKind::kAnnounce:
+      sent_announcements_->Increment();
       break;
     case RuntimeMessageKind::kPromise:
-      stats->promises += n;
+      sent_promises_->Increment();
       break;
     case RuntimeMessageKind::kRequestPromise:
-      stats->promise_requests += n;
+      sent_promise_requests_->Increment();
       break;
     case RuntimeMessageKind::kTrigger:
-      stats->triggers += n;
+      sent_triggers_->Increment();
       break;
   }
 }
 
-}  // namespace
+void GuardScheduler::TraceSend(SymbolId from, SymbolId target,
+                               const RuntimeMessage& msg) {
+  const Alphabet& alphabet = *ctx_->alphabet();
+  int src_site = actors_.at(from)->site();
+  SimTime now = network_->sim()->now();
+  switch (msg.kind) {
+    case RuntimeMessageKind::kAnnounce:
+    case RuntimeMessageKind::kTrigger:
+      tracer_->Instant(obs::SpanCategory::kMessage,
+                       StrCat(MessageKindName(msg.kind), " ",
+                              alphabet.LiteralName(msg.literal)),
+                       now, src_site, from,
+                       {{"to", alphabet.Name(target)}});
+      return;
+    case RuntimeMessageKind::kRequestPromise:
+      // Request → grant window: opened here, closed when the owner of the
+      // needed literal sends back the matching kPromise.
+      tracer_->BeginAsync(
+          obs::SpanCategory::kPromise,
+          StrCat("promise_request ", alphabet.LiteralName(msg.literal),
+                 " for ", alphabet.LiteralName(msg.requester)),
+          StrCat("preq:", alphabet.LiteralName(msg.literal), ":", from), now,
+          src_site, from, {{"to", alphabet.Name(target)}});
+      return;
+    case RuntimeMessageKind::kPromise:
+      tracer_->EndAsync(
+          StrCat("preq:", alphabet.LiteralName(msg.literal), ":", target),
+          now, src_site, from);
+      tracer_->Instant(obs::SpanCategory::kPromise,
+                       StrCat("promise ", alphabet.LiteralName(msg.literal)),
+                       now, src_site, from,
+                       {{"to", alphabet.Name(target)}});
+      return;
+  }
+}
 
 void GuardScheduler::Broadcast(SymbolId from, const RuntimeMessage& msg) {
   auto it = subscribers_.find(from);
@@ -178,7 +312,8 @@ void GuardScheduler::Broadcast(SymbolId from, const RuntimeMessage& msg) {
   int src_site = actors_.at(from)->site();
   for (SymbolId target : it->second) {
     EventActor* actor = actors_.at(target).get();
-    CountMessage(&stats_, msg.kind);
+    CountMessage(msg.kind);
+    if (tracer_ != nullptr) TraceSend(from, target, msg);
     network_->Send(src_site, actor->site(), options_.message_bytes,
                    [actor, msg] { actor->Receive(msg); });
   }
@@ -190,7 +325,8 @@ void GuardScheduler::SendTo(SymbolId from, SymbolId target,
   if (it == actors_.end()) return;
   EventActor* actor = it->second.get();
   int src_site = actors_.at(from)->site();
-  CountMessage(&stats_, msg.kind);
+  CountMessage(msg.kind);
+  if (tracer_ != nullptr) TraceSend(from, target, msg);
   network_->Send(src_site, actor->site(), options_.message_bytes,
                  [actor, msg] { actor->Receive(msg); });
 }
@@ -206,6 +342,14 @@ void GuardScheduler::RecordOccurrence(EventLiteral literal,
   if (options_.durable_log != nullptr) {
     options_.durable_log->Append(EventLog::Record{stamp, literal});
   }
+  occurrences_->Increment();
+  if (tracer_ != nullptr) {
+    const EventActor* actor = actors_.at(literal.symbol()).get();
+    tracer_->Instant(obs::SpanCategory::kLifecycle,
+                     StrCat("occur ", ctx_->alphabet()->LiteralName(literal)),
+                     stamp.time, actor->site(), literal.symbol(),
+                     {{"seq", StrCat(stamp.seq)}});
+  }
   history_.push_back(literal);
   for (const auto& listener : listeners_) listener(literal);
 }
@@ -214,6 +358,13 @@ Status GuardScheduler::Recover(const EventLog& log) {
   if (!history_.empty()) {
     return Status::FailedPrecondition(
         "Recover must run on a fresh scheduler");
+  }
+  metrics_->counter("sched.recovered_records")
+      ->Increment(log.records().size());
+  if (tracer_ != nullptr) {
+    tracer_->Complete(obs::SpanCategory::kRecovery, "recovery replay",
+                      network_->sim()->now(), 0, 0, 0,
+                      {{"records", StrCat(log.records().size())}});
   }
   // Pass 1: restore decisions and the history, and advance the stamp
   // sequence past everything logged.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "guards/workflow.h"
+#include "obs/obs.h"
 #include "runtime/event_actor.h"
 #include "runtime/event_log.h"
 #include "sim/network.h"
@@ -27,11 +28,22 @@ struct GuardSchedulerOptions {
   /// When set, every occurrence is appended (stamp + literal) before it is
   /// announced; GuardScheduler::Recover replays such a log after a crash.
   EventLog* durable_log = nullptr;
+  /// When set, "sched.*" counters and histograms report into this registry;
+  /// otherwise a private registry backs stats(). Installing a registry (or
+  /// a tracer) also enables the per-attempt lifecycle instrumentation
+  /// (decision latency, parked depth, guard-reduction steps).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, records event-lifecycle spans (attempt → parked →
+  /// enabled/rejected), occurrence instants, per-kind protocol sends, and
+  /// promise request→grant spans. Null ⇒ every trace site is one
+  /// branch-on-null.
+  obs::TraceRecorder* tracer = nullptr;
 };
 
 /// Message-kind breakdown of the runtime traffic (the paper's message
 /// protocol of §4.3: occurrence announcements, promises, promise requests,
-/// and proactive triggers).
+/// and proactive triggers). Snapshot view assembled from the metrics
+/// registry, kept for source compatibility; the registry is ground truth.
 struct GuardSchedulerStats {
   uint64_t announcements = 0;
   uint64_t promises = 0;
@@ -84,7 +96,12 @@ class GuardScheduler : public Scheduler, public ActorHost {
   EventActor* actor(SymbolId symbol);
   size_t parked_count() const;
   size_t violations() const { return violations_; }
-  const GuardSchedulerStats& stats() const { return stats_; }
+  /// Message-kind counters, read out of the metrics registry.
+  GuardSchedulerStats stats() const;
+  /// The registry the "sched.*" metrics report into (installed or private).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::TraceRecorder* tracer() const { return tracer_; }
+  Network* network() const { return network_; }
   /// Symbols of all installed instances.
   const std::set<SymbolId>& symbols() const { return symbols_; }
 
@@ -116,13 +133,23 @@ class GuardScheduler : public Scheduler, public ActorHost {
               const RuntimeMessage& msg) override;
   OccurrenceStamp NextStamp() override;
   void RecordOccurrence(EventLiteral literal, OccurrenceStamp stamp) override;
-  void RecordViolation(EventLiteral) override { ++violations_; }
+  void RecordViolation(EventLiteral) override {
+    ++violations_;
+    violation_counter_->Increment();
+  }
   bool MayTrigger(EventLiteral literal) const override;
   bool PromisesEnabled() const override { return options_.enable_promises; }
   GuardArena* guard_arena() override { return ctx_->guards(); }
   Residuator* residuator() override { return ctx_->residuator(); }
 
  private:
+  /// Wraps an attempt callback with lifecycle tracing and decision-latency
+  /// accounting (only called when observe_lifecycle_).
+  AttemptCallback WrapAttempt(EventLiteral literal, int site,
+                              AttemptCallback done);
+  void CountMessage(RuntimeMessageKind kind);
+  void TraceSend(SymbolId from, SymbolId target, const RuntimeMessage& msg);
+
   WorkflowContext* ctx_;
   Network* network_;
   GuardSchedulerOptions options_;
@@ -136,10 +163,30 @@ class GuardScheduler : public Scheduler, public ActorHost {
   std::map<SymbolId, EventAttributes> attrs_;
   Trace history_;
   std::vector<std::function<void(EventLiteral)>> listeners_;
-  GuardSchedulerStats stats_;
   uint64_t next_seq_ = 0;
   size_t violations_ = 0;
   WorkflowSpec spec_;
+
+  // ---- Observability (see docs/OBSERVABILITY.md) ----
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  /// True when an explicit registry or tracer is installed: enables the
+  /// per-attempt wrapping that costs an allocation per attempt.
+  bool observe_lifecycle_ = false;
+  obs::ActorObs actor_obs_;
+  /// Message-kind counters (always on; they replace the old stats_ struct).
+  obs::Counter* sent_announcements_ = nullptr;
+  obs::Counter* sent_promises_ = nullptr;
+  obs::Counter* sent_promise_requests_ = nullptr;
+  obs::Counter* sent_triggers_ = nullptr;
+  obs::Counter* attempts_ = nullptr;
+  obs::Counter* occurrences_ = nullptr;
+  obs::Counter* violation_counter_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Histogram* decision_latency_ = nullptr;
+  uint64_t attempt_seq_ = 0;
 };
 
 }  // namespace cdes

@@ -8,7 +8,9 @@ namespace cdes {
 ResiduationScheduler::ResiduationScheduler(WorkflowContext* ctx,
                                            const ParsedWorkflow& workflow,
                                            Network* network, int center_site,
-                                           size_t message_bytes)
+                                           size_t message_bytes,
+                                           obs::MetricsRegistry* metrics,
+                                           obs::TraceRecorder* tracer)
     : ctx_(ctx), network_(network), center_site_(center_site),
       message_bytes_(message_bytes), dependencies_(workflow.spec.dependencies()) {
   residuals_.reserve(dependencies_.size());
@@ -20,6 +22,8 @@ ResiduationScheduler::ResiduationScheduler(WorkflowContext* ctx,
     const AgentDecl* agent = workflow.FindAgent(decl.agent);
     sites_[decl.symbol] = agent != nullptr ? agent->site : 0;
   }
+  cobs_.Init(metrics, tracer, ctx_->alphabet(), network_->sim(), center_site_,
+             name(), sites_);
 }
 
 int ResiduationScheduler::SiteOf(SymbolId symbol) const {
@@ -29,6 +33,8 @@ int ResiduationScheduler::SiteOf(SymbolId symbol) const {
 
 void ResiduationScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
   int agent_site = SiteOf(literal.symbol());
+  cobs_.CountAttempt(literal, agent_site);
+  if (done) done = cobs_.Wrap(literal, std::move(done));
   // Attempt message travels from the agent's site to the center.
   network_->Send(agent_site, center_site_, message_bytes_,
                  [this, literal, done = std::move(done), agent_site] {
@@ -38,6 +44,7 @@ void ResiduationScheduler::Attempt(EventLiteral literal, AttemptCallback done) {
 
 void ResiduationScheduler::Reply(int agent_site, const AttemptCallback& done,
                                  Decision decision) {
+  cobs_.CountDecision(decision);
   if (!done) return;
   network_->Send(center_site_, agent_site, message_bytes_,
                  [done, decision] { done(decision); });
@@ -66,6 +73,7 @@ void ResiduationScheduler::HandleAttempt(EventLiteral literal,
     if (!literal.complemented() && !attrs.rejectable) {
       // Forced admission of a nonrejectable event (abort-like).
       ++violations_;
+      cobs_.CountViolation();
       ApplyOccurrence(literal);
       Reply(agent_site, done, Decision::kAccepted);
       Reevaluate();
@@ -76,6 +84,7 @@ void ResiduationScheduler::HandleAttempt(EventLiteral literal,
   }
   Reply(agent_site, done, Decision::kParked);
   parked_.push_back(Parked{literal, std::move(done), agent_site});
+  cobs_.OnParked(parked_.size());
 }
 
 bool ResiduationScheduler::Satisfiable(const Expr* e) {
@@ -124,6 +133,7 @@ bool ResiduationScheduler::CanEverAccept(EventLiteral literal) {
 }
 
 void ResiduationScheduler::ApplyOccurrence(EventLiteral literal) {
+  cobs_.CountOccurrence(literal);
   decided_[literal.symbol()] = literal;
   history_.push_back(literal);
   for (const Expr*& residual : residuals_) {

@@ -7,8 +7,9 @@
 #include <vector>
 
 #include "guards/workflow.h"
-#include "sim/network.h"
+#include "sched/central_obs.h"
 #include "sched/scheduler.h"
+#include "sim/network.h"
 #include "spec/ast.h"
 
 namespace cdes {
@@ -31,9 +32,15 @@ namespace cdes {
 /// dependency; they realize different subsets of the acceptable traces.
 class ResiduationScheduler : public Scheduler {
  public:
+  /// `metrics`/`tracer` (optional) install the observability layer: "sched.*"
+  /// counters, decision-latency histograms, and lifecycle spans, same
+  /// taxonomy as GuardScheduler (see docs/OBSERVABILITY.md). When neither is
+  /// given, a private registry backs the counters at no extra cost.
   ResiduationScheduler(WorkflowContext* ctx, const ParsedWorkflow& workflow,
                        Network* network, int center_site = 0,
-                       size_t message_bytes = 48);
+                       size_t message_bytes = 48,
+                       obs::MetricsRegistry* metrics = nullptr,
+                       obs::TraceRecorder* tracer = nullptr);
 
   void Attempt(EventLiteral literal, AttemptCallback done) override;
   const Trace& history() const override { return history_; }
@@ -47,6 +54,9 @@ class ResiduationScheduler : public Scheduler {
   /// Current residual of dependency `index` (Figure 2 state).
   const Expr* ResidualOf(size_t index) const { return residuals_[index]; }
   size_t violations() const { return violations_; }
+  /// The registry the "sched.*" metrics report into (installed or private).
+  obs::MetricsRegistry* metrics() const { return cobs_.metrics(); }
+  obs::TraceRecorder* tracer() const { return cobs_.tracer(); }
 
  private:
   struct Parked {
@@ -80,6 +90,7 @@ class ResiduationScheduler : public Scheduler {
   Trace history_;
   std::vector<std::function<void(EventLiteral)>> listeners_;
   size_t violations_ = 0;
+  CentralSchedulerObs cobs_;
 };
 
 }  // namespace cdes

@@ -1,6 +1,39 @@
 #include "sim/network.h"
 
+#include "common/strings.h"
+
 namespace cdes {
+
+Network::Network(Simulator* sim, size_t site_count,
+                 const NetworkOptions& options)
+    : sim_(sim), site_count_(site_count), options_(options),
+      rng_(options.seed), tracer_(options.tracer) {
+  if (options.metrics != nullptr) {
+    metrics_ = options.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  messages_ = metrics_->counter("net.messages");
+  bytes_ = metrics_->counter("net.bytes");
+  remote_messages_ = metrics_->counter("net.remote_messages");
+  latency_ = metrics_->histogram("net.latency_us");
+  if (tracer_ != nullptr) {
+    for (size_t s = 0; s < site_count_; ++s) {
+      tracer_->NameProcess(static_cast<int>(s), StrCat("site ", s));
+      tracer_->NameLane(static_cast<int>(s), 0, "transport");
+    }
+  }
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats out;
+  out.messages = messages_->value();
+  out.bytes = bytes_->value();
+  out.remote_messages = remote_messages_->value();
+  out.total_latency = latency_->sum();
+  return out;
+}
 
 void Network::Send(int src, int dst, size_t bytes,
                    Simulator::Callback deliver) {
@@ -27,10 +60,23 @@ void Network::Send(int src, int dst, size_t bytes,
     arrival += options_.site_processing;
     busy_until = arrival;
   }
-  stats_.messages += 1;
-  stats_.bytes += bytes;
-  stats_.remote_messages += (src != dst) ? 1 : 0;
-  stats_.total_latency += arrival - sim_->now();
+  messages_->Increment();
+  bytes_->Increment(bytes);
+  remote_messages_->Increment((src != dst) ? 1 : 0);
+  latency_->Observe(arrival - sim_->now());
+  if (tracer_ != nullptr) {
+    std::string key = StrCat("net:", ++trace_seq_);
+    tracer_->BeginAsync(obs::SpanCategory::kMessage,
+                        StrCat("msg ", src, "→", dst), key, sim_->now(),
+                        src, 0, {{"bytes", StrCat(bytes)}});
+    sim_->ScheduleAt(arrival,
+                     [this, key = std::move(key), dst,
+                      deliver = std::move(deliver)] {
+                       tracer_->EndAsync(key, sim_->now(), dst, 0);
+                       deliver();
+                     });
+    return;
+  }
   sim_->ScheduleAt(arrival, std::move(deliver));
 }
 

@@ -2,10 +2,12 @@
 #define CDES_SIM_NETWORK_H_
 
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace cdes {
@@ -26,8 +28,17 @@ struct NetworkOptions {
   SimTime site_processing = 0;
   /// Seed for the jitter stream.
   uint64_t seed = 1;
+  /// When set, per-message counters and the delivery-latency histogram
+  /// land in this registry ("net.*" names); otherwise the network keeps a
+  /// private registry so stats() always works.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, every message becomes an in-flight async span (send at the
+  /// source site, deliver at the destination site).
+  obs::TraceRecorder* tracer = nullptr;
 };
 
+/// Snapshot view of the network's "net.*" metrics, kept for source
+/// compatibility with pre-obs callers; the registry is the ground truth.
 struct NetworkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
@@ -49,9 +60,7 @@ struct NetworkStats {
 /// overtake (the adversarial mode used by failure-injection tests).
 class Network {
  public:
-  Network(Simulator* sim, size_t site_count, const NetworkOptions& options)
-      : sim_(sim), site_count_(site_count), options_(options),
-        rng_(options.seed) {}
+  Network(Simulator* sim, size_t site_count, const NetworkOptions& options);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -65,7 +74,11 @@ class Network {
     link_latency_[{src, dst}] = base;
   }
 
-  const NetworkStats& stats() const { return stats_; }
+  /// Snapshot assembled from the metrics registry.
+  NetworkStats stats() const;
+  /// The registry the "net.*" metrics report into (the installed one, or
+  /// the private fallback).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
   size_t site_count() const { return site_count_; }
   Simulator* sim() const { return sim_; }
 
@@ -74,7 +87,14 @@ class Network {
   size_t site_count_;
   NetworkOptions options_;
   Rng rng_;
-  NetworkStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* messages_ = nullptr;
+  obs::Counter* bytes_ = nullptr;
+  obs::Counter* remote_messages_ = nullptr;
+  obs::Histogram* latency_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
+  uint64_t trace_seq_ = 0;
   std::map<std::pair<int, int>, SimTime> link_latency_;
   std::map<std::pair<int, int>, SimTime> last_arrival_;
   std::map<int, SimTime> site_busy_until_;

@@ -1,10 +1,22 @@
 #include "sim/simulator.h"
 
+#include "obs/metrics.h"
+
 namespace cdes {
 
 void Simulator::ScheduleAt(SimTime when, Callback fn) {
   CDES_CHECK_GE(when, now_);
   queue_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+void Simulator::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    steps_counter_ = nullptr;
+    queue_depth_ = nullptr;
+    return;
+  }
+  steps_counter_ = metrics->counter("sim.steps");
+  queue_depth_ = metrics->histogram("sim.queue_depth");
 }
 
 bool Simulator::Step() {
@@ -14,6 +26,10 @@ bool Simulator::Step() {
   queue_.pop();
   now_ = entry.when;
   ++executed_;
+  if (steps_counter_ != nullptr) {
+    steps_counter_->Increment();
+    queue_depth_->Observe(queue_.size());
+  }
   entry.fn();
   return true;
 }

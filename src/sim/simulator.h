@@ -10,6 +10,12 @@
 
 namespace cdes {
 
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Virtual time, in microsecond ticks.
 using SimTime = uint64_t;
 
@@ -54,6 +60,11 @@ class Simulator {
   size_t pending() const { return queue_.size(); }
   uint64_t executed() const { return executed_; }
 
+  /// Reports per-step counters ("sim.steps", "sim.queue_depth") into
+  /// `metrics`. Pass nullptr to detach. Uninstrumented simulators pay one
+  /// null check per step.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Entry {
     SimTime when;
@@ -70,6 +81,8 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t seq_ = 0;
   uint64_t executed_ = 0;
+  obs::Counter* steps_counter_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
 };
 
 }  // namespace cdes

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
+#include "obs/trace_recorder.h"
 #include "sched/diagnostics.h"
 #include "spec/parser.h"
 
@@ -10,14 +12,18 @@ namespace cdes {
 namespace {
 
 struct DiagWorld {
-  explicit DiagWorld(const char* spec_text) {
+  explicit DiagWorld(const char* spec_text,
+                     obs::TraceRecorder* tracer = nullptr) {
     auto parsed = ParseWorkflow(&ctx, spec_text);
     CDES_CHECK(parsed.ok()) << parsed.status();
     workflow = std::move(parsed).value();
     NetworkOptions nopts;
     nopts.base_latency = 100;
     network = std::make_unique<Network>(&sim, 4, nopts);
-    sched = std::make_unique<GuardScheduler>(&ctx, workflow, network.get());
+    GuardSchedulerOptions sopts;
+    sopts.tracer = tracer;
+    sched = std::make_unique<GuardScheduler>(&ctx, workflow, network.get(),
+                                             sopts);
   }
 
   void AttemptAndRun(const std::string& name) {
@@ -160,6 +166,64 @@ workflow ch2 {
   EXPECT_TRUE(diagnoses[0].doomed);
   EXPECT_NE(DiagnosisToString(diagnoses, *w.ctx.alphabet()).find("[doomed]"),
             std::string::npos);
+}
+
+TEST(DiagnosticsTest, DoomedDiagnosisEmitsTraceInstant) {
+  // Same foreclosure scenario as above, with the tracer installed: the
+  // diagnosis completes the lifecycle taxonomy (attempt → parked → doomed)
+  // by stamping a "doomed" instant on the parked actor's lane.
+  obs::TraceRecorder recorder;
+  DiagWorld w(R"(
+workflow ch2 {
+  event b;
+  event c;
+  dep d: b . c;
+}
+)",
+              &recorder);
+  w.AttemptAndRun("c");
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kLifecycle, "attempt c",
+                                 obs::TraceEvent::Phase::kInstant),
+            1u);
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kLifecycle, "parked c",
+                                 obs::TraceEvent::Phase::kAsyncBegin),
+            1u);
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kLifecycle, "doomed",
+                                 obs::TraceEvent::Phase::kInstant),
+            0u);
+  SymbolId b = w.ctx.alphabet()->Find("b");
+  ASSERT_NE(b, kInvalidSymbol);
+  w.sched->actor(b)->RestoreOccurrence(EventLiteral::Complement(b));
+  std::vector<ParkedDiagnosis> diagnoses =
+      DiagnoseParked(&w.ctx, w.sched.get());
+  ASSERT_EQ(diagnoses.size(), 1u);
+  ASSERT_TRUE(diagnoses[0].doomed);
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kLifecycle, "doomed c",
+                                 obs::TraceEvent::Phase::kInstant),
+            1u);
+  // Without the tracer the same diagnosis records nothing extra — the
+  // doomed instant rides on DiagnoseParked, it never self-installs.
+  DiagWorld plain(R"(
+workflow ch2 {
+  event b;
+  event c;
+  dep d: b . c;
+}
+)");
+  EXPECT_EQ(plain.sched->tracer(), nullptr);
+}
+
+TEST(DiagnosticsTest, RendersOneLinePerParkedAttempt) {
+  DiagWorld w(kChainSpec);
+  w.AttemptAndRun("c");  // parks waiting on a·b
+  w.AttemptAndRun("b");  // parks waiting on a
+  std::vector<ParkedDiagnosis> diagnoses =
+      DiagnoseParked(&w.ctx, w.sched.get());
+  ASSERT_EQ(diagnoses.size(), 2u);
+  std::string rendered = DiagnosisToString(diagnoses, *w.ctx.alphabet());
+  EXPECT_NE(rendered.find("parked b"), std::string::npos);
+  EXPECT_NE(rendered.find("parked c"), std::string::npos);
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 2);
 }
 
 }  // namespace

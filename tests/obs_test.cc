@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/chrome_trace.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "sched/automata_scheduler.h"
+#include "sched/guard_scheduler.h"
+#include "sched/residuation_scheduler.h"
+#include "spec/parser.h"
+
+namespace cdes {
+namespace {
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, CountersAreGetOrCreateWithStableAddresses) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter("x.count");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(registry.counter("x.count"), c);
+  EXPECT_EQ(registry.counter_count(), 1u);
+  registry.gauge("x.depth")->Set(3.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("x.depth")->value(), 3.5);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("lat", {1, 2, 4});
+  for (uint64_t v : {0u, 1u, 2u, 3u, 4u, 100u}) h->Observe(v);
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_EQ(h->sum(), 110u);
+  EXPECT_EQ(h->min(), 0u);
+  EXPECT_EQ(h->max(), 100u);
+  ASSERT_EQ(h->buckets().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h->buckets()[0], 2u);      // 0, 1
+  EXPECT_EQ(h->buckets()[1], 1u);      // 2
+  EXPECT_EQ(h->buckets()[2], 2u);      // 3, 4
+  EXPECT_EQ(h->buckets()[3], 1u);      // 100 (overflow)
+  EXPECT_LE(h->Percentile(0.5), 4u);
+  // Same name returns the existing histogram even with different bounds.
+  EXPECT_EQ(registry.histogram("lat", {7}), h);
+}
+
+TEST(MetricsTest, ExponentialBoundsDouble) {
+  std::vector<uint64_t> bounds = obs::MetricsRegistry::ExponentialBounds(1, 5);
+  EXPECT_EQ(bounds, (std::vector<uint64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(MetricsTest, ToJsonIsValidAndDeterministic) {
+  obs::MetricsRegistry registry;
+  registry.counter("b")->Increment(2);
+  registry.counter("a")->Increment(1);
+  registry.gauge("g")->Set(1.5);
+  registry.histogram("h", {10})->Observe(5);
+  std::string json = registry.ToJson();
+  EXPECT_EQ(json, registry.ToJson());
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* counters = parsed.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("a")->number(), 1.0);
+  const obs::JsonValue* h = parsed.value().Find("histograms");
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(h->Find("h"), nullptr);
+  EXPECT_DOUBLE_EQ(h->Find("h")->Find("count")->number(), 1.0);
+}
+
+// ----------------------------------------------------------------- JSON
+
+TEST(JsonTest, ParsesEscapesAndNesting) {
+  auto parsed = obs::ParseJson(
+      R"({"s": "a\"bA", "n": [1, -2.5e1, true, null]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().Find("s")->string(), "a\"bA");
+  const auto& arr = parsed.value().Find("n")->array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_DOUBLE_EQ(arr[1].number(), -25.0);
+  EXPECT_TRUE(arr[2].bool_value());
+  EXPECT_TRUE(arr[3].is_null());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("[1,]").ok());
+  EXPECT_FALSE(obs::ParseJson("{} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("'single'").ok());
+}
+
+TEST(JsonTest, EscapeHandlesControlCharacters) {
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+}
+
+// ---------------------------------------------------------- TraceRecorder
+
+TEST(TraceRecorderTest, AsyncSpansPairByKey) {
+  obs::TraceRecorder recorder;
+  uint64_t id = recorder.BeginAsync(obs::SpanCategory::kMessage, "msg", "k1",
+                                    10, 0, 0);
+  EXPECT_NE(id, 0u);
+  EXPECT_TRUE(recorder.HasOpenAsync("k1"));
+  // Re-opening an open key is refused.
+  EXPECT_EQ(recorder.BeginAsync(obs::SpanCategory::kMessage, "msg", "k1", 11,
+                                0, 0),
+            0u);
+  EXPECT_TRUE(recorder.EndAsync("k1", 20, 1, 0));
+  EXPECT_FALSE(recorder.HasOpenAsync("k1"));
+  EXPECT_FALSE(recorder.EndAsync("k1", 21, 1, 0));
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events()[0].id, recorder.events()[1].id);
+  EXPECT_EQ(recorder.events()[0].phase, obs::TraceEvent::Phase::kAsyncBegin);
+  EXPECT_EQ(recorder.events()[1].phase, obs::TraceEvent::Phase::kAsyncEnd);
+  // The key is reusable after close, with a fresh correlation id.
+  uint64_t id2 = recorder.BeginAsync(obs::SpanCategory::kMessage, "msg", "k1",
+                                     30, 0, 0);
+  EXPECT_NE(id2, 0u);
+  EXPECT_NE(id2, id);
+}
+
+TEST(TraceRecorderTest, CountEventsFiltersByCategoryPrefixAndPhase) {
+  obs::TraceRecorder recorder;
+  recorder.Instant(obs::SpanCategory::kLifecycle, "occur a", 1, 0, 0);
+  recorder.Instant(obs::SpanCategory::kLifecycle, "occur b", 2, 0, 1);
+  recorder.Instant(obs::SpanCategory::kMessage, "occur c", 3, 0, 0);
+  recorder.Complete(obs::SpanCategory::kLifecycle, "occurrence window", 1, 5,
+                    0, 0);
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kLifecycle, "occur",
+                                 obs::TraceEvent::Phase::kInstant),
+            2u);
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kMessage, "occur",
+                                 obs::TraceEvent::Phase::kInstant),
+            1u);
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kLifecycle, "occur",
+                                 obs::TraceEvent::Phase::kComplete),
+            1u);
+}
+
+// ------------------------------------------------------- Chrome exporter
+
+TEST(ChromeTraceTest, ExportsWellFormedSortedJson) {
+  obs::TraceRecorder recorder;
+  recorder.NameProcess(0, "site 0");
+  recorder.NameLane(0, 7, "actor e");
+  // Recorded out of ts order on purpose: the exporter must sort.
+  recorder.Instant(obs::SpanCategory::kLifecycle, "late", 50, 0, 7,
+                   {{"k", "v"}});
+  recorder.Instant(obs::SpanCategory::kLifecycle, "early", 10, 0, 7);
+  recorder.Complete(obs::SpanCategory::kSim, "phase", 20, 15, 0, 7);
+  std::string json = obs::ChromeTraceJson(recorder);
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<double> ts;
+  bool saw_process_name = false, saw_thread_name = false;
+  for (const obs::JsonValue& e : events->array()) {
+    const std::string& ph = e.Find("ph")->string();
+    if (ph == "M") {
+      const std::string& name = e.Find("name")->string();
+      saw_process_name |= name == "process_name";
+      saw_thread_name |= name == "thread_name";
+      continue;
+    }
+    ts.push_back(e.Find("ts")->number());
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_thread_name);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  // The complete span kept its duration, the instant its args.
+  EXPECT_NE(json.find("\"dur\": 15"), std::string::npos);
+  EXPECT_NE(json.find("\"k\": \"v\""), std::string::npos);
+}
+
+// ----------------------------------------------------------- Integration
+
+constexpr char kTravelSpec[] = R"(
+workflow travel {
+  agent air @ site(0);
+  agent car @ site(1);
+  event s_buy    agent(air);
+  event c_buy    agent(air);
+  event s_book   agent(car) attrs(triggerable);
+  event c_book   agent(car);
+  event s_cancel agent(car) attrs(triggerable);
+  dep d1: ~s_buy + s_book;
+  dep d2: ~c_buy + c_book . c_buy;
+  dep d3: ~c_book + c_buy + s_cancel;
+}
+)";
+
+struct ObsWorld {
+  ObsWorld() {
+    auto parsed = ParseWorkflow(&ctx, kTravelSpec);
+    CDES_CHECK(parsed.ok()) << parsed.status();
+    workflow = std::move(parsed).value();
+    NetworkOptions nopts;
+    nopts.base_latency = 1000;
+    nopts.metrics = &metrics;
+    nopts.tracer = &recorder;
+    network = std::make_unique<Network>(&sim, 2, nopts);
+  }
+
+  void Drive(Scheduler* sched, const std::vector<std::string>& script) {
+    for (const std::string& name : script) {
+      auto lit = ctx.alphabet()->ParseLiteral(name);
+      CDES_CHECK(lit.ok()) << lit.status();
+      sched->Attempt(lit.value(), AttemptCallback());
+      sim.Run();
+    }
+  }
+
+  WorkflowContext ctx;
+  ParsedWorkflow workflow;
+  Simulator sim;
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<Network> network;
+};
+
+TEST(ObsIntegrationTest, TravelSpansReconcileWithGuardSchedulerStats) {
+  ObsWorld w;
+  w.sim.AttachMetrics(&w.metrics);
+  GuardSchedulerOptions sopts;
+  sopts.metrics = &w.metrics;
+  sopts.tracer = &w.recorder;
+  GuardScheduler sched(&w.ctx, w.workflow, w.network.get(), sopts);
+  w.Drive(&sched, {"s_buy", "c_book", "c_buy"});
+  ASSERT_TRUE(sched.HistoryConsistent());
+
+  // Every occurrence in history() has exactly one "occur" instant.
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kLifecycle, "occur ",
+                                   obs::TraceEvent::Phase::kInstant),
+            sched.history().size());
+  // Registry counters are the ground truth behind stats(): both views and
+  // the traced send instants must reconcile exactly.
+  GuardSchedulerStats stats = sched.stats();
+  EXPECT_EQ(w.metrics.counter("sched.msgs.announce")->value(),
+            stats.announcements);
+  EXPECT_EQ(w.metrics.counter("sched.msgs.promise")->value(), stats.promises);
+  EXPECT_EQ(w.metrics.counter("sched.msgs.promise_request")->value(),
+            stats.promise_requests);
+  EXPECT_EQ(w.metrics.counter("sched.msgs.trigger")->value(), stats.triggers);
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kMessage, "announce ",
+                                   obs::TraceEvent::Phase::kInstant),
+            stats.announcements);
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kMessage, "trigger ",
+                                   obs::TraceEvent::Phase::kInstant),
+            stats.triggers);
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kPromise, "promise ",
+                                   obs::TraceEvent::Phase::kInstant),
+            stats.promises);
+  // Attempts: 3 scripted; occurrences: history. The network reported in
+  // too, and the simulator stepped at least once per message.
+  EXPECT_EQ(w.metrics.counter("sched.attempts")->value(), 3u);
+  EXPECT_EQ(w.metrics.counter("sched.occurrences")->value(),
+            sched.history().size());
+  EXPECT_EQ(w.metrics.counter("net.messages")->value(),
+            w.network->stats().messages);
+  EXPECT_GE(w.metrics.counter("sim.steps")->value(),
+            w.network->stats().messages);
+
+  // The exported Chrome trace is valid JSON with globally sorted ts.
+  auto parsed = obs::ParseJson(obs::ChromeTraceJson(w.recorder));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  std::vector<double> ts;
+  for (const obs::JsonValue& e : parsed.value().Find("traceEvents")->array()) {
+    if (e.Find("ph")->string() != "M") ts.push_back(e.Find("ts")->number());
+  }
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+  EXPECT_EQ(ts.size(), w.recorder.events().size());
+}
+
+TEST(ObsIntegrationTest, LifecycleInstrumentationIsOffWithoutObservers) {
+  // No metrics/tracer installed: the scheduler still serves stats() from
+  // its private registry, but records no lifecycle histograms or spans.
+  WorkflowContext ctx;
+  auto parsed = ParseWorkflow(&ctx, kTravelSpec);
+  ASSERT_TRUE(parsed.ok());
+  Simulator sim;
+  NetworkOptions nopts;
+  nopts.base_latency = 1000;
+  Network net(&sim, 2, nopts);
+  GuardScheduler sched(&ctx, parsed.value(), &net);
+  auto lit = ctx.alphabet()->ParseLiteral("s_buy");
+  ASSERT_TRUE(lit.ok());
+  sched.Attempt(lit.value(), AttemptCallback());
+  sim.Run();
+  EXPECT_EQ(sched.tracer(), nullptr);
+  ASSERT_NE(sched.metrics(), nullptr);
+  EXPECT_GT(sched.stats().total(), 0u);
+  EXPECT_EQ(sched.metrics()->histogram_count(), 0u);
+}
+
+TEST(ObsIntegrationTest, CentralizedSchedulersReportSameTaxonomy) {
+  {
+    ObsWorld w;
+    ResiduationScheduler sched(&w.ctx, w.workflow, w.network.get(),
+                               /*center_site=*/0, /*message_bytes=*/48,
+                               &w.metrics, &w.recorder);
+    w.Drive(&sched, {"s_buy", "s_book", "c_book", "c_buy"});
+    EXPECT_EQ(w.metrics.counter("sched.occurrences")->value(),
+              sched.history().size());
+    EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kLifecycle, "occur ",
+                                     obs::TraceEvent::Phase::kInstant),
+              sched.history().size());
+    EXPECT_EQ(w.metrics.counter("sched.attempts")->value(), 4u);
+    EXPECT_EQ(w.metrics.counter("sched.decisions.accepted")->value(),
+              sched.history().size());
+  }
+  {
+    ObsWorld w;
+    AutomataScheduler sched(&w.ctx, w.workflow, w.network.get(),
+                            /*center_site=*/0, /*message_bytes=*/48,
+                            &w.metrics, &w.recorder);
+    w.Drive(&sched, {"s_buy", "s_book", "c_book", "c_buy"});
+    EXPECT_EQ(w.metrics.counter("sched.occurrences")->value(),
+              sched.history().size());
+    EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kLifecycle, "occur ",
+                                     obs::TraceEvent::Phase::kInstant),
+              sched.history().size());
+  }
+}
+
+TEST(ObsIntegrationTest, ParkedWindowOpensAndClosesAroundDecision) {
+  ObsWorld w;
+  GuardSchedulerOptions sopts;
+  sopts.metrics = &w.metrics;
+  sopts.tracer = &w.recorder;
+  GuardScheduler sched(&w.ctx, w.workflow, w.network.get(), sopts);
+  std::vector<Decision> decisions;
+  auto lit = w.ctx.alphabet()->ParseLiteral("c_buy");
+  ASSERT_TRUE(lit.ok());
+  // c_buy needs c_book first: it parks.
+  sched.Attempt(lit.value(), [&](Decision d) { decisions.push_back(d); });
+  w.sim.Run();
+  ASSERT_EQ(decisions.back(), Decision::kParked);
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kLifecycle, "parked ",
+                                   obs::TraceEvent::Phase::kAsyncBegin),
+            1u);
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kLifecycle, "parked ",
+                                   obs::TraceEvent::Phase::kAsyncEnd),
+            0u);
+  // c_book also parks transiently on its ◇(c_buy + s_cancel) guard before
+  // the promise handshake resolves it, so assert on c_buy's spans by name.
+  w.Drive(&sched, {"c_book"});
+  ASSERT_EQ(decisions.back(), Decision::kAccepted);
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kLifecycle,
+                                   "parked c_buy",
+                                   obs::TraceEvent::Phase::kAsyncEnd),
+            1u);
+  EXPECT_EQ(w.recorder.CountEvents(obs::SpanCategory::kLifecycle,
+                                   "enabled c_buy",
+                                   obs::TraceEvent::Phase::kInstant),
+            1u);
+  EXPECT_GE(w.metrics.histogram("sched.decision_latency_us")->count(), 1u);
+  EXPECT_GE(w.metrics.counter("sched.parks")->value(), 1u);
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, PrefixCarriesSimTimeOnlyWhileRegistered) {
+  using internal_logging::FormatLogPrefix;
+  Simulator sim;
+  std::string before = FormatLogPrefix(LogLevel::kInfo, "f.cc", 1);
+  EXPECT_EQ(before.find("@"), std::string::npos);
+  obs::RegisterGlobalSimulator(&sim);
+  std::string during = FormatLogPrefix(LogLevel::kInfo, "f.cc", 1);
+  EXPECT_NE(during.find("@0us"), std::string::npos);
+  EXPECT_NE(during.find("f.cc:1"), std::string::npos);
+  EXPECT_EQ(during[1], 'I');
+  sim.ScheduleAt(1234, [] {});
+  sim.Run();
+  std::string later = FormatLogPrefix(LogLevel::kWarning, "f.cc", 2);
+  EXPECT_NE(later.find("@1234us"), std::string::npos);
+  EXPECT_EQ(later[1], 'W');
+  obs::UnregisterGlobalSimulator(&sim);
+  std::string after = FormatLogPrefix(LogLevel::kError, "f.cc", 3);
+  EXPECT_EQ(after.find("@"), std::string::npos);
+  // Unregistering a never-registered simulator is a safe no-op.
+  Simulator other;
+  obs::UnregisterGlobalSimulator(&other);
+  EXPECT_EQ(obs::GlobalSimulator(), nullptr);
+}
+
+}  // namespace
+}  // namespace cdes
