@@ -324,6 +324,14 @@ void EventActor::RestoreOccurrence(EventLiteral literal) {
 void EventActor::Receive(const RuntimeMessage& msg) {
   switch (msg.kind) {
     case RuntimeMessageKind::kAnnounce: {
+      // At-most-once assimilation: a symbol decides at most once, so a
+      // second announcement of the same literal (duplicated delivery, or a
+      // retransmission racing its ack) must be dropped here — folding it
+      // into CurrentGuard again would residuate ◇-sequences by an event
+      // that occurred only once, corrupting the reduced guard.
+      for (const auto& [stamp, occurred] : heard_) {
+        if (occurred == msg.literal) return;
+      }
       auto entry = std::make_pair(msg.stamp, msg.literal);
       heard_.insert(
           std::upper_bound(heard_.begin(), heard_.end(), entry), entry);
@@ -538,13 +546,10 @@ bool EventActor::TryAnswerPromiseRequest(const RuntimeMessage& request) {
     std::set<EventLiteral> after = ImpliedBoxes(current);
     after.insert(request.requester);
     promises_made_.insert(made);
-    // Bring the requester's residual up to date with what we already
-    // heard, in stamp order.
-    const Expr* residual = request.need;
-    for (const auto& [stamp, occurred] : heard_) {
-      residual = host_->residuator()->Residuate(residual, occurred);
-    }
-    obligations_.emplace_back(residual, request.literal);
+    // Adopt the requester's residual as received; ReviewObligations folds
+    // the occurrence log into it afresh on every pass (see there for why
+    // the fold must not be incremental).
+    obligations_.emplace_back(request.need, request.literal);
     RuntimeMessage promise{RuntimeMessageKind::kPromise, request.literal,
                            OccurrenceStamp{}, EventLiteral(),
                            std::vector<EventLiteral>(after.begin(),
@@ -560,14 +565,17 @@ bool EventActor::TryAnswerPromiseRequest(const RuntimeMessage& request) {
 
 void EventActor::ReviewObligations() {
   if (obligations_.empty()) return;
-  // Update residuals against everything heard (recomputing from scratch is
-  // unnecessary: residuate by the latest only — but announcements arrive
-  // one at a time through Receive, which re-residuates below).
+  // Each pass folds the *original* obligation residual by the occurrence
+  // log from scratch, in stamp order. Storing the partially residuated
+  // expression and folding only new arrivals into it would be wrong on an
+  // unordered network: residuation is order-sensitive ((x·y)/y = 0 by
+  // rule 7), so an announcement whose stamp precedes one already folded
+  // would corrupt the stored residual permanently — the same reason
+  // CurrentGuard replays the whole hold-back queue per evaluation.
   std::vector<std::pair<const Expr*, EventLiteral>> remaining;
   std::vector<EventLiteral> to_trigger;
-  for (auto [residual, literal] : obligations_) {
-    // Fold in all heard occurrences (idempotent: residuation by an already
-    // consumed symbol leaves 0/⊤ fixed and others unchanged or dead).
+  for (auto [need, literal] : obligations_) {
+    const Expr* residual = need;
     for (const auto& [stamp, occurred] : heard_) {
       residual = host_->residuator()->Residuate(residual, occurred);
     }
@@ -579,7 +587,7 @@ void EventActor::ReviewObligations() {
     if (necessary) {
       to_trigger.push_back(literal);
     } else {
-      remaining.emplace_back(residual, literal);
+      remaining.emplace_back(need, literal);
     }
   }
   obligations_ = std::move(remaining);

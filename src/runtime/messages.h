@@ -9,6 +9,25 @@
 
 namespace cdes {
 
+/// Identity of one transport frame under the reliable-delivery layer
+/// (runtime/reliable_transport.h): `seq` is monotonic per directed
+/// (src, dst) site channel, assigned by the sender. Receivers suppress
+/// frames whose id they have already delivered (the at-least-once
+/// retransmission protocol makes duplicates routine), and acks echo the id
+/// so the sender can retire the matching pending entry.
+struct MessageId {
+  int src = 0;
+  int dst = 0;
+  uint64_t seq = 0;
+
+  friend bool operator<(const MessageId& a, const MessageId& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.seq < b.seq;
+  }
+  friend bool operator==(const MessageId&, const MessageId&) = default;
+};
+
 /// Total-order stamp attached to every occurrence. The runtime assimilates
 /// occurrence announcements in stamp order, which is what makes the
 /// order-sensitive ◇E residuation sound under message reordering (§6: "the

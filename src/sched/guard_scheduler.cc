@@ -21,7 +21,10 @@ GuardScheduler::GuardScheduler(WorkflowContext* ctx,
                                const ParsedWorkflow& workflow,
                                Network* network,
                                const GuardSchedulerOptions& options)
-    : ctx_(ctx), network_(network), options_(options) {
+    : ctx_(ctx), network_(network),
+      transport_(std::make_unique<ReliableTransport>(network,
+                                                     options.reliability)),
+      options_(options) {
   if (options.metrics != nullptr) {
     metrics_ = options.metrics;
   } else {
@@ -314,8 +317,8 @@ void GuardScheduler::Broadcast(SymbolId from, const RuntimeMessage& msg) {
     EventActor* actor = actors_.at(target).get();
     CountMessage(msg.kind);
     if (tracer_ != nullptr) TraceSend(from, target, msg);
-    network_->Send(src_site, actor->site(), options_.message_bytes,
-                   [actor, msg] { actor->Receive(msg); });
+    transport_->Send(src_site, actor->site(), options_.message_bytes,
+                     [actor, msg] { actor->Receive(msg); });
   }
 }
 
@@ -327,8 +330,8 @@ void GuardScheduler::SendTo(SymbolId from, SymbolId target,
   int src_site = actors_.at(from)->site();
   CountMessage(msg.kind);
   if (tracer_ != nullptr) TraceSend(from, target, msg);
-  network_->Send(src_site, actor->site(), options_.message_bytes,
-                 [actor, msg] { actor->Receive(msg); });
+  transport_->Send(src_site, actor->site(), options_.message_bytes,
+                   [actor, msg] { actor->Receive(msg); });
 }
 
 OccurrenceStamp GuardScheduler::NextStamp() {

@@ -11,6 +11,7 @@
 #include "obs/obs.h"
 #include "runtime/event_actor.h"
 #include "runtime/event_log.h"
+#include "runtime/reliable_transport.h"
 #include "sim/network.h"
 #include "spec/ast.h"
 
@@ -25,6 +26,11 @@ struct GuardSchedulerOptions {
   bool enable_promises = true;
   /// Estimated bytes per runtime message, for network accounting.
   size_t message_bytes = 48;
+  /// Tuning for the reliable-delivery layer every protocol message rides
+  /// on. The layer is pass-through (no ids, acks, or timers) unless the
+  /// network has fault injection configured, so these knobs cost nothing
+  /// on a reliable network.
+  ReliableTransportOptions reliability;
   /// When set, every occurrence is appended (stamp + literal) before it is
   /// announced; GuardScheduler::Recover replays such a log after a crash.
   EventLog* durable_log = nullptr;
@@ -102,6 +108,8 @@ class GuardScheduler : public Scheduler, public ActorHost {
   obs::MetricsRegistry* metrics() const { return metrics_; }
   obs::TraceRecorder* tracer() const { return tracer_; }
   Network* network() const { return network_; }
+  /// The exactly-once delivery layer protocol messages ride on.
+  ReliableTransport* transport() const { return transport_.get(); }
   /// Symbols of all installed instances.
   const std::set<SymbolId>& symbols() const { return symbols_; }
 
@@ -152,6 +160,7 @@ class GuardScheduler : public Scheduler, public ActorHost {
 
   WorkflowContext* ctx_;
   Network* network_;
+  std::unique_ptr<ReliableTransport> transport_;
   GuardSchedulerOptions options_;
   /// Per-literal compiled guards across all installed instances.
   std::map<EventLiteral, const Guard*> compiled_guards_;

@@ -17,6 +17,9 @@ Network::Network(Simulator* sim, size_t site_count,
   messages_ = metrics_->counter("net.messages");
   bytes_ = metrics_->counter("net.bytes");
   remote_messages_ = metrics_->counter("net.remote_messages");
+  dropped_ = metrics_->counter("net.dropped");
+  duplicated_ = metrics_->counter("net.duplicated");
+  partitioned_ = metrics_->counter("net.partitioned");
   latency_ = metrics_->histogram("net.latency_us");
   if (tracer_ != nullptr) {
     for (size_t s = 0; s < site_count_; ++s) {
@@ -31,27 +34,45 @@ NetworkStats Network::stats() const {
   out.messages = messages_->value();
   out.bytes = bytes_->value();
   out.remote_messages = remote_messages_->value();
+  out.delivered = latency_->count();
+  out.dropped = dropped_->value();
+  out.duplicated = duplicated_->value();
+  out.partitioned = partitioned_->value();
   out.total_latency = latency_->sum();
   return out;
 }
 
-void Network::Send(int src, int dst, size_t bytes,
-                   Simulator::Callback deliver) {
-  CDES_CHECK_LT(static_cast<size_t>(src), site_count_);
-  CDES_CHECK_LT(static_cast<size_t>(dst), site_count_);
-  SimTime latency;
-  if (src == dst) {
-    latency = options_.local_latency;
-  } else {
-    auto it = link_latency_.find({src, dst});
-    latency = it != link_latency_.end() ? it->second : options_.base_latency;
-    if (options_.jitter > 0) latency += rng_.Uniform(options_.jitter + 1);
+void Network::SchedulePartition(std::set<int> group, SimTime from,
+                                SimTime until) {
+  if (until <= from || group.empty()) return;
+  partitions_.push_back(PartitionWindow{std::move(group), from, until});
+}
+
+bool Network::Partitioned(int src, int dst, SimTime at) const {
+  for (const PartitionWindow& w : partitions_) {
+    if (at < w.from || at >= w.until) continue;
+    if (w.group.count(src) != w.group.count(dst)) return true;
   }
+  return false;
+}
+
+SimTime Network::DrawLatency(int src, int dst) {
+  auto it = link_latency_.find({src, dst});
+  SimTime latency =
+      it != link_latency_.end() ? it->second : options_.base_latency;
+  if (options_.jitter > 0) latency += rng_.Uniform(options_.jitter + 1);
+  return latency;
+}
+
+void Network::ScheduleDelivery(int src, int dst, size_t bytes,
+                               SimTime latency, Simulator::Callback deliver) {
   SimTime arrival = sim_->now() + latency;
   if (options_.fifo_links) {
-    SimTime& last = last_arrival_[{src, dst}];
+    // Never deliver before an earlier message on the same link: the clamp
+    // is what keeps jitter > base_latency (and duplicated copies) from
+    // reordering a FIFO channel.
+    SimTime last = last_arrival_[{src, dst}];
     if (arrival < last) arrival = last;
-    last = arrival;
   }
   if (options_.site_processing > 0) {
     // The destination handles one message at a time.
@@ -60,9 +81,11 @@ void Network::Send(int src, int dst, size_t bytes,
     arrival += options_.site_processing;
     busy_until = arrival;
   }
-  messages_->Increment();
-  bytes_->Increment(bytes);
-  remote_messages_->Increment((src != dst) ? 1 : 0);
+  if (options_.fifo_links) {
+    // Record the final (post-processing) delivery time, so later traffic
+    // clamps against when this message actually lands.
+    last_arrival_[{src, dst}] = arrival;
+  }
   latency_->Observe(arrival - sim_->now());
   if (tracer_ != nullptr) {
     std::string key = StrCat("net:", ++trace_seq_);
@@ -78,6 +101,53 @@ void Network::Send(int src, int dst, size_t bytes,
     return;
   }
   sim_->ScheduleAt(arrival, std::move(deliver));
+}
+
+void Network::Send(int src, int dst, size_t bytes,
+                   Simulator::Callback deliver) {
+  CDES_CHECK_LT(static_cast<size_t>(src), site_count_);
+  CDES_CHECK_LT(static_cast<size_t>(dst), site_count_);
+  messages_->Increment();
+  bytes_->Increment(bytes);
+  remote_messages_->Increment((src != dst) ? 1 : 0);
+  if (src == dst) {
+    // In-process delivery: immune to loss, duplication, and partitions.
+    ScheduleDelivery(src, dst, bytes, options_.local_latency,
+                     std::move(deliver));
+    return;
+  }
+  if (Partitioned(src, dst, sim_->now())) {
+    partitioned_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(obs::SpanCategory::kMessage,
+                       StrCat("lost ", src, "→", dst), sim_->now(), src, 0,
+                       {{"cause", "partition"}});
+    }
+    return;
+  }
+  if (options_.drop_probability > 0 &&
+      rng_.Bernoulli(options_.drop_probability)) {
+    dropped_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Instant(obs::SpanCategory::kMessage,
+                       StrCat("lost ", src, "→", dst), sim_->now(), src, 0,
+                       {{"cause", "loss"}});
+    }
+    return;
+  }
+  SimTime latency = DrawLatency(src, dst);
+  // Decide duplication before scheduling the original so the RNG stream
+  // (and therefore the whole run) is a pure function of the send sequence.
+  bool duplicate = options_.duplicate_probability > 0 &&
+                   rng_.Bernoulli(options_.duplicate_probability);
+  SimTime dup_latency = duplicate ? DrawLatency(src, dst) : 0;
+  if (!duplicate) {
+    ScheduleDelivery(src, dst, bytes, latency, std::move(deliver));
+    return;
+  }
+  duplicated_->Increment();
+  ScheduleDelivery(src, dst, bytes, latency, deliver);
+  ScheduleDelivery(src, dst, bytes, dup_latency, std::move(deliver));
 }
 
 }  // namespace cdes
