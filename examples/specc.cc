@@ -21,6 +21,7 @@
 #include <sstream>
 
 #include "algebra/residuation.h"
+#include "analysis/analyzer.h"
 #include "guards/verifier.h"
 #include "guards/workflow.h"
 #include "obs/chrome_trace.h"
@@ -95,7 +96,8 @@ int main(int argc, char** argv) {
 
   WorkflowContext ctx;
   uint64_t parse_start = now_us();
-  auto parsed_all = ParseWorkflows(&ctx, text);
+  auto parsed_all =
+      ParseWorkflows(&ctx, text, path != nullptr ? path : "");
   if (!parsed_all.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  parsed_all.status().ToString().c_str());
@@ -103,6 +105,27 @@ int main(int argc, char** argv) {
   }
   phase("parse", parse_start,
         {{"workflows", std::to_string(parsed_all.value().size())}});
+
+  // Static analysis runs on every compile (it is purely symbolic — cheap
+  // next to the schedule-space verification below). Errors abort: an
+  // unsatisfiable dependency or a statically dead event means the workflow
+  // can never do what the spec says.
+  uint64_t lint_start = now_us();
+  bool lint_errors = false;
+  for (const ParsedWorkflow& w : parsed_all.value()) {
+    std::vector<analysis::Diagnostic> diagnostics =
+        analysis::AnalyzeWorkflow(&ctx, w);
+    for (analysis::Diagnostic& d : diagnostics) {
+      if (path != nullptr) d.file = path;
+      std::fprintf(stderr, "%s\n", analysis::FormatDiagnostic(d).c_str());
+    }
+    lint_errors |= analysis::HasFindings(diagnostics);
+  }
+  phase("static analysis", lint_start);
+  if (lint_errors) {
+    std::fprintf(stderr, "specc: workflow rejected by static analysis\n");
+    return 1;
+  }
 
   auto write_trace = [&]() -> int {
     if (trace_path == nullptr) return 0;

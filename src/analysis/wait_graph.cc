@@ -1,0 +1,117 @@
+#include "analysis/wait_graph.h"
+
+#include <algorithm>
+
+#include "temporal/guard_needs.h"
+
+namespace cdes::analysis {
+namespace {
+
+/// Iterative Tarjan SCC over the wait graph (the graph is tiny, but
+/// recursion depth should not depend on spec size).
+class SccFinder {
+ public:
+  explicit SccFinder(const WaitGraph& graph) : graph_(graph) {}
+
+  std::vector<std::vector<EventLiteral>> Run() {
+    for (EventLiteral node : graph_.nodes) {
+      if (!state_.count(node)) Visit(node);
+    }
+    std::sort(components_.begin(), components_.end());
+    return components_;
+  }
+
+ private:
+  struct NodeState {
+    int index = -1;
+    int lowlink = -1;
+    bool on_stack = false;
+  };
+
+  const std::set<EventLiteral>& Successors(EventLiteral node) const {
+    static const std::set<EventLiteral> kEmpty;
+    auto it = graph_.edges.find(node);
+    return it == graph_.edges.end() ? kEmpty : it->second;
+  }
+
+  void Visit(EventLiteral root) {
+    struct Frame {
+      EventLiteral node;
+      std::set<EventLiteral>::const_iterator next, end;
+    };
+    std::vector<Frame> call_stack;
+    auto push = [this, &call_stack](EventLiteral node) {
+      const std::set<EventLiteral>& succ = Successors(node);
+      call_stack.push_back(Frame{node, succ.begin(), succ.end()});
+      state_[node] = NodeState{next_index_, next_index_, true};
+      ++next_index_;
+      scc_stack_.push_back(node);
+    };
+    push(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      if (frame.next != frame.end) {
+        EventLiteral succ = *frame.next++;
+        auto it = state_.find(succ);
+        if (it == state_.end()) {
+          push(succ);  // invalidates `frame`; loop re-fetches back()
+        } else if (it->second.on_stack) {
+          NodeState& mine = state_[frame.node];
+          mine.lowlink = std::min(mine.lowlink, it->second.index);
+        }
+        continue;
+      }
+      NodeState mine = state_[frame.node];
+      if (mine.lowlink == mine.index) PopComponent(frame.node);
+      EventLiteral done = frame.node;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        NodeState& parent = state_[call_stack.back().node];
+        parent.lowlink = std::min(parent.lowlink, state_[done].lowlink);
+      }
+    }
+  }
+
+  void PopComponent(EventLiteral root) {
+    std::vector<EventLiteral> component;
+    while (true) {
+      EventLiteral top = scc_stack_.back();
+      scc_stack_.pop_back();
+      state_[top].on_stack = false;
+      component.push_back(top);
+      if (top == root) break;
+    }
+    if (component.size() < 2) return;
+    std::sort(component.begin(), component.end());
+    components_.push_back(std::move(component));
+  }
+
+  const WaitGraph& graph_;
+  std::map<EventLiteral, NodeState> state_;
+  std::vector<EventLiteral> scc_stack_;
+  std::vector<std::vector<EventLiteral>> components_;
+  int next_index_ = 0;
+};
+
+}  // namespace
+
+WaitGraph BuildWaitGraph(const CompiledWorkflow& compiled) {
+  WaitGraph graph;
+  for (SymbolId symbol : compiled.symbols()) {
+    for (EventLiteral literal :
+         {EventLiteral::Positive(symbol), EventLiteral::Complement(symbol)}) {
+      graph.nodes.push_back(literal);
+      const Guard* guard = compiled.GuardFor(literal);
+      std::set<EventLiteral> must = ImpliedBoxes(guard);
+      if (!must.empty()) graph.edges.emplace(literal, std::move(must));
+    }
+  }
+  return graph;
+}
+
+std::vector<std::vector<EventLiteral>> FindWaitCycles(const WaitGraph& graph) {
+  SccFinder finder(graph);
+  return finder.Run();
+}
+
+}  // namespace cdes::analysis

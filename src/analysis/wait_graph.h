@@ -1,0 +1,42 @@
+#ifndef CDES_ANALYSIS_WAIT_GRAPH_H_
+#define CDES_ANALYSIS_WAIT_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "guards/workflow.h"
+
+namespace cdes::analysis {
+
+/// The static must-wait structure of a compiled workflow, computed from the
+/// *initial* synthesized guards (before any reduction): there is an edge
+/// ℓ → m when every disjunct of G(W, ℓ) requires □m, i.e. ℓ cannot be
+/// permitted until m has occurred, and no alternative disjunct (a
+/// complement choice) avoids the wait. This is the authoring-time analogue
+/// of DiagnoseParked's `waiting_for`, restricted to unavoidable
+/// occurrence-waits: ◇-needs are excluded because the runtime's promise
+/// protocol resolves mutually-referential ◇ guards (Example 11), so they
+/// are not static deadlocks.
+struct WaitGraph {
+  /// All literals of the workflow's mentioned symbols, in index order.
+  std::vector<EventLiteral> nodes;
+  /// ℓ → the literals every disjunct of ℓ's initial guard □-requires.
+  std::map<EventLiteral, std::set<EventLiteral>> edges;
+};
+
+/// Builds the must-wait graph of `compiled` via ImpliedBoxes on each
+/// initial guard.
+WaitGraph BuildWaitGraph(const CompiledWorkflow& compiled);
+
+/// Strongly connected components of the wait graph with at least two
+/// members (single literals cannot mutually wait: a guard never mentions
+/// its own symbol). Each cycle is a set of events none of which can ever be
+/// permitted: every member waits for another member to occur first.
+/// Components are returned with members in index order, outer list ordered
+/// by smallest member.
+std::vector<std::vector<EventLiteral>> FindWaitCycles(const WaitGraph& graph);
+
+}  // namespace cdes::analysis
+
+#endif  // CDES_ANALYSIS_WAIT_GRAPH_H_

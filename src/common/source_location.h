@@ -1,0 +1,33 @@
+#ifndef CDES_COMMON_SOURCE_LOCATION_H_
+#define CDES_COMMON_SOURCE_LOCATION_H_
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace cdes {
+
+/// A 1-based line:column position in a workflow spec source text. Parsed
+/// declarations and dependencies carry their location so later phases
+/// (static analysis, compilation) can point diagnostics at the offending
+/// spec line. A default-constructed location is "unknown" (e.g. for
+/// programmatically built workflows).
+struct SourceLocation {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+
+  /// "line:col", or "?" when unknown.
+  std::string ToString() const {
+    if (!known()) return "?";
+    return StrCat(line, ":", column);
+  }
+
+  friend bool operator==(const SourceLocation&,
+                         const SourceLocation&) = default;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_COMMON_SOURCE_LOCATION_H_

@@ -173,18 +173,6 @@ class EventActor {
   bool reevaluating_ = false;
 };
 
-/// Collects the literals a reduced guard still waits on: literals under ◇
-/// (satisfiable by promises or occurrences) into `diamond_needs` and □
-/// literals (satisfiable only by occurrences) into `box_needs`. Shared by
-/// the actor's need-emission and the scheduler diagnostics.
-void CollectGuardNeeds(const Guard* g, std::set<EventLiteral>* diamond_needs,
-                       std::set<EventLiteral>* box_needs);
-
-/// The literals guaranteed to have occurred before the guarded event can:
-/// the □-atoms every disjunct of `g` requires (And: union of children;
-/// Or: intersection). Attached to promises as order guarantees.
-std::set<EventLiteral> ImpliedBoxes(const Guard* g);
-
 }  // namespace cdes
 
 #endif  // CDES_RUNTIME_EVENT_ACTOR_H_

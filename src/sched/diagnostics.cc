@@ -1,6 +1,7 @@
 #include "sched/diagnostics.h"
 
 #include "common/strings.h"
+#include "temporal/guard_needs.h"
 #include "temporal/reduction.h"
 
 namespace cdes {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/source_location.h"
 #include "guards/workflow.h"
 
 namespace cdes {
@@ -25,19 +26,23 @@ struct EventAttributes {
                          const EventAttributes&) = default;
 };
 
-/// A declared task agent and the (simulated) site it runs on.
+/// A declared task agent and the (simulated) site it runs on. `loc` is the
+/// declaration's position in spec source (unknown when built by hand).
 struct AgentDecl {
   std::string name;
   int site = 0;
+  SourceLocation loc;
 };
 
 /// A declared significant event: its interned symbol, owning agent, and
-/// attributes.
+/// attributes. Template-instantiated events carry the `use` statement's
+/// location.
 struct EventDecl {
   std::string name;
   SymbolId symbol = kInvalidSymbol;
   std::string agent;
   EventAttributes attrs;
+  SourceLocation loc;
 };
 
 /// A fully parsed workflow: agents, events, and the dependency set.

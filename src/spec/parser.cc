@@ -39,9 +39,19 @@ struct Token {
   int column;
 };
 
+// "file:line:col: " (or "line:col: " when no file name is known) — the
+// prefix every parse error and lint diagnostic starts with.
+std::string LocPrefix(std::string_view filename, int line, int column) {
+  std::string out;
+  if (!filename.empty()) out += StrCat(filename, ":");
+  out += StrCat(line, ":", column, ": ");
+  return out;
+}
+
 class Lexer {
  public:
-  explicit Lexer(std::string_view text) : text_(text) {}
+  Lexer(std::string_view text, std::string_view filename)
+      : text_(text), filename_(filename) {}
 
   Result<std::vector<Token>> Tokenize() {
     std::vector<Token> out;
@@ -101,8 +111,8 @@ class Lexer {
         case ']': kind = TokenKind::kRBracket; break;
         default:
           return Status::InvalidArgument(
-              StrCat("unexpected character '", std::string(1, c), "' at ",
-                     line, ":", column));
+              StrCat(LocPrefix(filename_, line, column),
+                     "unexpected character '", std::string(1, c), "'"));
       }
       Advance();
       out.push_back({kind, std::string(1, c), line, column});
@@ -134,6 +144,7 @@ class Lexer {
   }
 
   std::string_view text_;
+  std::string_view filename_;
   size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
@@ -141,8 +152,9 @@ class Lexer {
 
 class Parser {
  public:
-  Parser(WorkflowContext* ctx, std::vector<Token> tokens)
-      : ctx_(ctx), tokens_(std::move(tokens)) {}
+  Parser(WorkflowContext* ctx, std::vector<Token> tokens,
+         std::string_view filename)
+      : ctx_(ctx), tokens_(std::move(tokens)), filename_(filename) {}
 
   Result<std::vector<ParsedWorkflow>> ParseAll() {
     std::vector<ParsedWorkflow> out;
@@ -165,11 +177,20 @@ class Parser {
   bool At(TokenKind kind) const { return Peek().kind == kind; }
   Token Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
 
+  Status ErrorAt(const Token& t, std::string message) {
+    return Status::InvalidArgument(
+        StrCat(LocPrefix(filename_, t.line, t.column), message));
+  }
+
   Status ErrorHere(std::string message) {
     const Token& t = Peek();
-    return Status::InvalidArgument(
-        StrCat(message, " at ", t.line, ":", t.column,
-               t.text.empty() ? "" : StrCat(" (got '", t.text, "')")));
+    return ErrorAt(t, StrCat(message, t.text.empty()
+                                          ? ""
+                                          : StrCat(" (got '", t.text, "')")));
+  }
+
+  static SourceLocation Loc(const Token& t) {
+    return SourceLocation{t.line, t.column};
   }
 
   Status Expect(TokenKind kind, std::string_view what) {
@@ -209,9 +230,10 @@ class Parser {
   }
 
   Status ParseAgent(ParsedWorkflow* w) {
-    Take();  // 'agent'
+    Token kw = Take();  // 'agent'
     if (!At(TokenKind::kIdent)) return ErrorHere("expected agent name");
     AgentDecl agent;
+    agent.loc = Loc(kw);
     agent.name = Take().text;
     if (w->FindAgent(agent.name) != nullptr) {
       return ErrorHere(StrCat("duplicate agent '", agent.name, "'"));
@@ -231,9 +253,10 @@ class Parser {
   }
 
   Status ParseEvent(ParsedWorkflow* w) {
-    Take();  // 'event'
+    Token kw = Take();  // 'event'
     if (!At(TokenKind::kIdent)) return ErrorHere("expected event name");
     EventDecl event;
+    event.loc = Loc(kw);
     event.name = Take().text;
     if (w->FindEvent(event.name) != nullptr) {
       return ErrorHere(StrCat("duplicate event '", event.name, "'"));
@@ -278,27 +301,27 @@ class Parser {
   }
 
   Status ParseDep(ParsedWorkflow* w) {
-    Take();  // 'dep'
+    Token kw = Take();  // 'dep'
     if (!At(TokenKind::kIdent)) return ErrorHere("expected dependency name");
     std::string name = Take().text;
     CDES_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
     // Klein sugar: IDENT -> IDENT and IDENT < IDENT.
     if (At(TokenKind::kIdent) && (Peek(1).kind == TokenKind::kArrow ||
                                   Peek(1).kind == TokenKind::kLess)) {
-      CDES_ASSIGN_OR_RETURN(SymbolId lhs, ResolveEvent(w, Take().text));
+      CDES_ASSIGN_OR_RETURN(SymbolId lhs, ResolveEvent(w, Take()));
       TokenKind op = Take().kind;
       if (!At(TokenKind::kIdent)) return ErrorHere("expected event name");
-      CDES_ASSIGN_OR_RETURN(SymbolId rhs, ResolveEvent(w, Take().text));
+      CDES_ASSIGN_OR_RETURN(SymbolId rhs, ResolveEvent(w, Take()));
       const Expr* expr = op == TokenKind::kArrow
                              ? KleinImplies(ctx_->exprs(), lhs, rhs)
                              : KleinPrecedes(ctx_->exprs(), lhs, rhs);
       CDES_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
-      w->spec.Add(std::move(name), expr);
+      w->spec.Add(std::move(name), expr, Loc(kw));
       return Status::OK();
     }
     CDES_ASSIGN_OR_RETURN(const Expr* expr, ParseExpr(w));
     CDES_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
-    w->spec.Add(std::move(name), expr);
+    w->spec.Add(std::move(name), expr, Loc(kw));
     return Status::OK();
   }
 
@@ -480,10 +503,11 @@ class Parser {
   Result<PExpr> ParseTUnary(const std::set<std::string>& declared) {
     if (At(TokenKind::kTilde)) {
       Take();
+      Token name = Peek();
       CDES_ASSIGN_OR_RETURN(PAtom atom, ParseTemplateAtom(true));
       if (!declared.count(atom.event)) {
-        return Status::InvalidArgument(
-            StrCat("event '", atom.event, "' used before declaration"));
+        return ErrorAt(name, StrCat("event '", atom.event,
+                                    "' used before declaration"));
       }
       return PExpr::Atom(std::move(atom));
     }
@@ -502,10 +526,11 @@ class Parser {
       return PExpr::Top();
     }
     if (At(TokenKind::kIdent)) {
+      Token name = Peek();
       CDES_ASSIGN_OR_RETURN(PAtom atom, ParseTemplateAtom(false));
       if (!declared.count(atom.event)) {
-        return Status::InvalidArgument(
-            StrCat("event '", atom.event, "' used before declaration"));
+        return ErrorAt(name, StrCat("event '", atom.event,
+                                    "' used before declaration"));
       }
       return PExpr::Atom(std::move(atom));
     }
@@ -513,7 +538,7 @@ class Parser {
   }
 
   Status ParseUse(ParsedWorkflow* w) {
-    Take();  // 'use'
+    Token kw = Take();  // 'use'
     if (!At(TokenKind::kIdent)) return ErrorHere("expected template name");
     std::string name = Take().text;
     auto it = templates_.find(name);
@@ -543,14 +568,30 @@ class Parser {
     }
     CDES_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
     CDES_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';'"));
-    return it->second.InstantiateInto(ctx_, binding, w);
+    // Instantiated declarations point at the `use` statement: the template
+    // body has no stable location once several instantiations coexist.
+    size_t agents_before = w->agents.size();
+    size_t events_before = w->events.size();
+    size_t deps_before = w->spec.dependencies().size();
+    CDES_RETURN_IF_ERROR(it->second.InstantiateInto(ctx_, binding, w));
+    for (size_t i = agents_before; i < w->agents.size(); ++i) {
+      w->agents[i].loc = Loc(kw);
+    }
+    for (size_t i = events_before; i < w->events.size(); ++i) {
+      w->events[i].loc = Loc(kw);
+    }
+    for (size_t i = deps_before; i < w->spec.dependencies().size(); ++i) {
+      w->spec.mutable_dependency(i)->loc = Loc(kw);
+    }
+    return Status::OK();
   }
 
-  Result<SymbolId> ResolveEvent(ParsedWorkflow* w, const std::string& name) {
-    const EventDecl* decl = w->FindEvent(name);
+  Result<SymbolId> ResolveEvent(ParsedWorkflow* w, const Token& token) {
+    const EventDecl* decl = w->FindEvent(token.text);
     if (decl == nullptr) {
       return Status::InvalidArgument(
-          StrCat("event '", name, "' used before declaration"));
+          StrCat(LocPrefix(filename_, token.line, token.column), "event '",
+                 token.text, "' used before declaration"));
     }
     return decl->symbol;
   }
@@ -592,7 +633,7 @@ class Parser {
     if (At(TokenKind::kTilde)) {
       Take();
       if (!At(TokenKind::kIdent)) return ErrorHere("expected event after '~'");
-      CDES_ASSIGN_OR_RETURN(SymbolId s, ResolveEvent(w, Take().text));
+      CDES_ASSIGN_OR_RETURN(SymbolId s, ResolveEvent(w, Take()));
       return ctx_->exprs()->Atom(EventLiteral::Complement(s));
     }
     if (At(TokenKind::kLParen)) {
@@ -610,7 +651,7 @@ class Parser {
       return ctx_->exprs()->Top();
     }
     if (At(TokenKind::kIdent)) {
-      CDES_ASSIGN_OR_RETURN(SymbolId s, ResolveEvent(w, Take().text));
+      CDES_ASSIGN_OR_RETURN(SymbolId s, ResolveEvent(w, Take()));
       return ctx_->exprs()->Atom(EventLiteral::Positive(s));
     }
     return ErrorHere("expected event, '~', '0', 'T', or '('");
@@ -618,6 +659,7 @@ class Parser {
 
   WorkflowContext* ctx_;
   std::vector<Token> tokens_;
+  std::string_view filename_;
   size_t pos_ = 0;
   std::map<std::string, WorkflowTemplate> templates_;
 };
@@ -646,17 +688,19 @@ const AgentDecl* ParsedWorkflow::FindAgent(std::string_view name) const {
 }
 
 Result<std::vector<ParsedWorkflow>> ParseWorkflows(WorkflowContext* ctx,
-                                                   std::string_view text) {
-  Lexer lexer(text);
+                                                   std::string_view text,
+                                                   std::string_view filename) {
+  Lexer lexer(text, filename);
   CDES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(ctx, std::move(tokens));
+  Parser parser(ctx, std::move(tokens), filename);
   return parser.ParseAll();
 }
 
 Result<ParsedWorkflow> ParseWorkflow(WorkflowContext* ctx,
-                                     std::string_view text) {
+                                     std::string_view text,
+                                     std::string_view filename) {
   CDES_ASSIGN_OR_RETURN(std::vector<ParsedWorkflow> all,
-                        ParseWorkflows(ctx, text));
+                        ParseWorkflows(ctx, text, filename));
   if (all.size() != 1) {
     return Status::InvalidArgument(
         StrCat("expected exactly one workflow, found ", all.size()));

@@ -42,13 +42,19 @@ namespace cdes {
 /// with parametrized atoms IDENT "[" targ... "]". Templates must be
 /// declared before the workflows that `use` them. Events must be declared
 /// before they are used in a dependency; symbols are interned into the
-/// context's alphabet. Errors carry line:column.
-Result<std::vector<ParsedWorkflow>> ParseWorkflows(WorkflowContext* ctx,
-                                                   std::string_view text);
+/// context's alphabet.
+///
+/// Errors are formatted "file:line:col: message" ("line:col: message" when
+/// `filename` is empty); declarations and dependencies in the result carry
+/// their SourceLocation for analysis diagnostics.
+Result<std::vector<ParsedWorkflow>> ParseWorkflows(
+    WorkflowContext* ctx, std::string_view text,
+    std::string_view filename = "");
 
 /// Convenience: parses text that must contain exactly one workflow.
 Result<ParsedWorkflow> ParseWorkflow(WorkflowContext* ctx,
-                                     std::string_view text);
+                                     std::string_view text,
+                                     std::string_view filename = "");
 
 /// Renders a parsed workflow back into (canonical) spec text; the result
 /// reparses to an equivalent workflow.

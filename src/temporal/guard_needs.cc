@@ -1,0 +1,87 @@
+#include "temporal/guard_needs.h"
+
+namespace cdes {
+
+void CollectExprAtoms(const Expr* e, std::set<EventLiteral>* out) {
+  if (e->IsAtom()) {
+    out->insert(e->literal());
+    return;
+  }
+  for (const Expr* c : e->children()) CollectExprAtoms(c, out);
+}
+
+void CollectGuardNeeds(const Guard* g,
+                       std::map<EventLiteral, const Expr*>* diamond_needs,
+                       std::set<EventLiteral>* box_needs) {
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+    case GuardKind::kTrue:
+    case GuardKind::kNeg:
+      return;
+    case GuardKind::kBox:
+      box_needs->insert(g->literal());
+      return;
+    case GuardKind::kDiamond: {
+      // Every literal mentioned in the residual can help discharge it.
+      std::set<EventLiteral> atoms;
+      CollectExprAtoms(g->expr(), &atoms);
+      for (EventLiteral l : atoms) diamond_needs->emplace(l, g->expr());
+      return;
+    }
+    case GuardKind::kAnd:
+    case GuardKind::kOr:
+      for (const Guard* c : g->children()) {
+        CollectGuardNeeds(c, diamond_needs, box_needs);
+      }
+      return;
+  }
+}
+
+void CollectGuardNeeds(const Guard* g, std::set<EventLiteral>* diamond_needs,
+                       std::set<EventLiteral>* box_needs) {
+  std::map<EventLiteral, const Expr*> with_context;
+  CollectGuardNeeds(g, &with_context, box_needs);
+  for (const auto& [literal, expr] : with_context) {
+    static_cast<void>(expr);
+    diamond_needs->insert(literal);
+  }
+}
+
+std::set<EventLiteral> ImpliedBoxes(const Guard* g) {
+  switch (g->kind()) {
+    case GuardKind::kBox:
+      return {g->literal()};
+    case GuardKind::kAnd: {
+      std::set<EventLiteral> out;
+      for (const Guard* c : g->children()) {
+        std::set<EventLiteral> inner = ImpliedBoxes(c);
+        out.insert(inner.begin(), inner.end());
+      }
+      return out;
+    }
+    case GuardKind::kOr: {
+      // Only □-atoms common to every disjunct are guaranteed.
+      bool first = true;
+      std::set<EventLiteral> out;
+      for (const Guard* c : g->children()) {
+        std::set<EventLiteral> inner = ImpliedBoxes(c);
+        if (first) {
+          out = std::move(inner);
+          first = false;
+        } else {
+          std::set<EventLiteral> merged;
+          for (EventLiteral l : out) {
+            if (inner.count(l)) merged.insert(l);
+          }
+          out = std::move(merged);
+        }
+        if (out.empty()) return out;
+      }
+      return out;
+    }
+    default:
+      return {};
+  }
+}
+
+}  // namespace cdes

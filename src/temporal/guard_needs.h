@@ -1,0 +1,45 @@
+#ifndef CDES_TEMPORAL_GUARD_NEEDS_H_
+#define CDES_TEMPORAL_GUARD_NEEDS_H_
+
+#include <map>
+#include <set>
+
+#include "temporal/guard.h"
+
+namespace cdes {
+
+/// Inserts every atom literal of `e` into `out` (the alphabet of one
+/// expression, with polarity — MentionedSymbols without the polarity
+/// erasure).
+void CollectExprAtoms(const Expr* e, std::set<EventLiteral>* out);
+
+/// Structural "what is this guard waiting for?" extraction, shared by the
+/// runtime's need-emission (runtime/event_actor), the operator diagnostics
+/// (sched/diagnostics), and the static wait-graph analysis (analysis/).
+///
+/// Collects the literals a (possibly reduced) guard still waits on:
+/// literals under ◇ (satisfiable by promises or occurrences) into
+/// `diamond_needs` and □ literals (satisfiable only by occurrences) into
+/// `box_needs`. ¬ℓ nodes impose no wait — they are true until ℓ occurs.
+void CollectGuardNeeds(const Guard* g, std::set<EventLiteral>* diamond_needs,
+                       std::set<EventLiteral>* box_needs);
+
+/// As above, but each ◇-need is paired with the residual expression it
+/// appears in (used by the runtime to attach the residual to promise
+/// requests). When a literal occurs under several ◇ nodes, an arbitrary
+/// one of the residuals is kept.
+void CollectGuardNeeds(const Guard* g,
+                       std::map<EventLiteral, const Expr*>* diamond_needs,
+                       std::set<EventLiteral>* box_needs);
+
+/// The literals guaranteed to have occurred before the guarded event can:
+/// the □-atoms every disjunct of `g` requires (And: union of children;
+/// Or: intersection). The runtime attaches these to promises as order
+/// guarantees; the static analyzer uses them as the must-wait edges of the
+/// wait graph — an Or-disjunct that avoids a □ breaks the wait, so only
+/// □-atoms common to all disjuncts are unavoidable.
+std::set<EventLiteral> ImpliedBoxes(const Guard* g);
+
+}  // namespace cdes
+
+#endif  // CDES_TEMPORAL_GUARD_NEEDS_H_

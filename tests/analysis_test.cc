@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/wait_graph.h"
+#include "spec/parser.h"
+
+namespace cdes {
+namespace {
+
+using analysis::AnalyzeOptions;
+using analysis::AnalyzeWorkflow;
+using analysis::Diagnostic;
+using analysis::Rule;
+using analysis::Severity;
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  std::vector<Diagnostic> Lint(std::string_view text,
+                               const AnalyzeOptions& options = {}) {
+    auto parsed = ParseWorkflow(&ctx_, text, "test.wf");
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    if (!parsed.ok()) return {};
+    return AnalyzeWorkflow(&ctx_, parsed.value(), options);
+  }
+
+  static size_t Count(const std::vector<Diagnostic>& diagnostics, Rule rule) {
+    size_t n = 0;
+    for (const Diagnostic& d : diagnostics) n += d.rule == rule;
+    return n;
+  }
+
+  static const Diagnostic* Find(const std::vector<Diagnostic>& diagnostics,
+                                Rule rule) {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.rule == rule) return &d;
+    }
+    return nullptr;
+  }
+
+  WorkflowContext ctx_;
+};
+
+// ------------------------------------------------------------- CL001/CL002
+
+TEST_F(AnalysisTest, UnsatisfiableDependencyIsAnErrorAndSuppressesRest) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep impossible: e | ~e;
+  dep fine: e < f;
+}
+)");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kUnsatisfiableDep);
+  EXPECT_EQ(diagnostics[0].severity, Severity::kError);
+  EXPECT_EQ(diagnostics[0].loc.line, 6);
+  EXPECT_EQ(diagnostics[0].loc.column, 3);
+  EXPECT_TRUE(analysis::HasFindings(diagnostics));
+}
+
+TEST_F(AnalysisTest, VacuousDependencyIsAWarning) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep always: e + ~e;
+  dep ord: e < f;
+}
+)");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kVacuousDep);
+  EXPECT_EQ(diagnostics[0].severity, Severity::kWarning);
+  EXPECT_EQ(diagnostics[0].loc.line, 6);
+  // Warnings alone do not fail the lint.
+  EXPECT_FALSE(analysis::HasFindings(diagnostics));
+  EXPECT_TRUE(analysis::HasFindings(diagnostics, Severity::kWarning));
+}
+
+// ------------------------------------------------------------- CL003/CL004
+
+TEST_F(AnalysisTest, DeadEventGuardIsAnError) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  dep never: ~e;
+}
+)");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kDeadEvent);
+  // Blamed on the event declaration, not the dependency.
+  EXPECT_EQ(diagnostics[0].loc.line, 4);
+  EXPECT_NE(diagnostics[0].message.find("'e'"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, ForcedEventIsAWarning) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  dep must: e;
+}
+)");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kForcedEvent);
+  EXPECT_EQ(diagnostics[0].severity, Severity::kWarning);
+}
+
+// ------------------------------------------------------------- CL005/CL006
+
+TEST_F(AnalysisTest, MutualBoxWaitIsAStaticDeadlock) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep first:  ~e + f . e;
+  dep second: ~f + e . f;
+}
+)");
+  // One cycle diagnostic; the per-member dead-event findings are subsumed.
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kStaticDeadlock);
+  EXPECT_EQ(diagnostics[0].severity, Severity::kError);
+  EXPECT_NE(diagnostics[0].message.find("e waits for f"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("f waits for e"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, DiamondCyclesAreResolvedByPromisesNotDeadlocks) {
+  // Mutually referential Klein implications (e → f and f → e) look cyclic
+  // but are ◇-waits: the runtime's promise protocol resolves them
+  // (Example 11), so the analyzer must stay silent.
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep x: e -> f;
+  dep y: f -> e;
+}
+)");
+  EXPECT_TRUE(diagnostics.empty())
+      << analysis::FormatDiagnostics(diagnostics);
+}
+
+TEST_F(AnalysisTest, WaitingOnADeadLiteralIsAnError) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep never: ~f;
+  dep after: f . e + ~e;
+}
+)");
+  const Diagnostic* wait = Find(diagnostics, Rule::kWaitOnDead);
+  ASSERT_NE(wait, nullptr) << analysis::FormatDiagnostics(diagnostics);
+  EXPECT_NE(wait->message.find("e waits for f"), std::string::npos);
+  // f's own guard is dead, reported separately.
+  EXPECT_EQ(Count(diagnostics, Rule::kDeadEvent), 1u);
+}
+
+// ------------------------------------------------------------------- CL007
+
+TEST_F(AnalysisTest, DuplicateDependencyIsRedundant) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep one: e < f;
+  dep two: e < f;
+}
+)");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kRedundantDep);
+  EXPECT_EQ(diagnostics[0].loc.line, 7);  // the later duplicate is blamed
+  EXPECT_NE(diagnostics[0].message.find("duplicates"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, EntailedDependencyIsRedundant) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep strong: e . f;
+  dep weak: e < f;
+}
+)");
+  const Diagnostic* redundant = Find(diagnostics, Rule::kRedundantDep);
+  ASSERT_NE(redundant, nullptr) << analysis::FormatDiagnostics(diagnostics);
+  EXPECT_NE(redundant->message.find("'weak'"), std::string::npos);
+  EXPECT_NE(redundant->message.find("'strong'"), std::string::npos);
+  EXPECT_EQ(redundant->loc.line, 7);
+}
+
+TEST_F(AnalysisTest, RedundancyPassCanBeDisabled) {
+  AnalyzeOptions options;
+  options.check_redundancy = false;
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep one: e < f;
+  dep two: e < f;
+}
+)",
+                                             options);
+  EXPECT_EQ(Count(diagnostics, Rule::kRedundantDep), 0u);
+}
+
+TEST_F(AnalysisTest, DependencyEntailsIsDirectional) {
+  auto parsed = ParseWorkflow(&ctx_, R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep strong: e . f;
+  dep weak: e < f;
+}
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const Expr* strong = parsed.value().spec.dependencies()[0].expr;
+  const Expr* weak = parsed.value().spec.dependencies()[1].expr;
+  EXPECT_TRUE(analysis::DependencyEntails(&ctx_, strong, weak));
+  EXPECT_FALSE(analysis::DependencyEntails(&ctx_, weak, strong));
+  EXPECT_TRUE(analysis::DependencyEntails(&ctx_, weak, weak));
+}
+
+// --------------------------------------------------------- CL008 – CL010
+
+TEST_F(AnalysisTest, HandBuiltSpecWithUndeclaredAndUnassignedEvents) {
+  // The parser enforces declaration-before-use, so CL008/CL009 can only
+  // arise in programmatically built workflows.
+  ParsedWorkflow w;
+  w.name = "hand";
+  SymbolId e = ctx_.alphabet()->Intern("e");
+  SymbolId ghost = ctx_.alphabet()->Intern("ghost");
+  w.events.push_back(EventDecl{"e", e, /*agent=*/"", {}, {}});
+  w.spec.Add("d",
+             ctx_.exprs()->Seq(
+                 ctx_.exprs()->Atom(EventLiteral::Positive(ghost)),
+                 ctx_.exprs()->Atom(EventLiteral::Positive(e))));
+  std::vector<Diagnostic> diagnostics = AnalyzeWorkflow(&ctx_, w);
+  EXPECT_EQ(Count(diagnostics, Rule::kUndeclaredEvent), 1u);
+  EXPECT_EQ(Count(diagnostics, Rule::kUnassignedEvent), 1u);
+  const Diagnostic* undeclared = Find(diagnostics, Rule::kUndeclaredEvent);
+  ASSERT_NE(undeclared, nullptr);
+  EXPECT_NE(undeclared->message.find("'ghost'"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, UnconstrainedEventIsANote) {
+  std::vector<Diagnostic> diagnostics = Lint(R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  event idle agent(a);
+  dep ord: e < f;
+}
+)");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, Rule::kUnconstrainedEvent);
+  EXPECT_EQ(diagnostics[0].severity, Severity::kNote);
+  EXPECT_EQ(diagnostics[0].loc.line, 6);
+  EXPECT_FALSE(analysis::HasFindings(diagnostics, Severity::kWarning));
+}
+
+// ------------------------------------------------------- source locations
+
+TEST_F(AnalysisTest, ParserThreadsSourceLocations) {
+  auto parsed = ParseWorkflow(&ctx_, R"(workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep ord: e < f;
+}
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ParsedWorkflow& w = parsed.value();
+  ASSERT_EQ(w.agents.size(), 1u);
+  EXPECT_EQ(w.agents[0].loc.line, 2);
+  EXPECT_EQ(w.agents[0].loc.column, 3);
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].loc.line, 3);
+  EXPECT_EQ(w.events[1].loc.line, 4);
+  ASSERT_EQ(w.spec.dependencies().size(), 1u);
+  EXPECT_EQ(w.spec.dependencies()[0].loc.line, 5);
+  EXPECT_EQ(w.spec.dependencies()[0].loc.column, 3);
+}
+
+TEST_F(AnalysisTest, ParseErrorsCarryFileLineColumn) {
+  auto parsed = ParseWorkflow(&ctx_, "workflow t {\n  dep d: ghost;\n}\n",
+                              "broken.wf");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("broken.wf:2:10:"),
+            std::string::npos)
+      << parsed.status();
+}
+
+// ------------------------------------------------------------- formatting
+
+TEST_F(AnalysisTest, FormatAndJsonRenderings) {
+  Diagnostic d = analysis::MakeDiagnostic(Rule::kDeadEvent, "boom",
+                                          SourceLocation{4, 7});
+  d.file = "x.wf";
+  EXPECT_EQ(analysis::FormatDiagnostic(d),
+            "x.wf:4:7: error: boom [CL003 dead-event]");
+  std::string json = analysis::DiagnosticsToJson({&d, 1});
+  EXPECT_NE(json.find("\"code\": \"CL003\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"dead-event\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+}
+
+// ----------------------------------------------------- shipped spec files
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST_F(AnalysisTest, EveryShippedSpecLintsClean) {
+  const char* kGoodSpecs[] = {"order.wf", "travel.wf", "travel_template.wf"};
+  for (const char* name : kGoodSpecs) {
+    std::string path =
+        std::string(CDES_SOURCE_DIR "/examples/specs/") + name;
+    WorkflowContext ctx;
+    auto parsed = ParseWorkflows(&ctx, ReadFileOrDie(path), name);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    for (const ParsedWorkflow& w : parsed.value()) {
+      std::vector<Diagnostic> diagnostics = AnalyzeWorkflow(&ctx, w);
+      EXPECT_TRUE(diagnostics.empty())
+          << name << ":\n" << analysis::FormatDiagnostics(diagnostics);
+    }
+  }
+}
+
+struct BadFixture {
+  const char* name;
+  Rule rule;
+  int line;
+};
+
+TEST_F(AnalysisTest, BadFixturesProduceTheirDocumentedRule) {
+  const BadFixture kFixtures[] = {
+      {"unsat.spec", Rule::kUnsatisfiableDep, 7},
+      {"dead_guard.spec", Rule::kDeadEvent, 6},
+      {"deadlock.spec", Rule::kStaticDeadlock, 11},
+  };
+  for (const BadFixture& fixture : kFixtures) {
+    std::string path =
+        std::string(CDES_SOURCE_DIR "/examples/specs/bad/") + fixture.name;
+    WorkflowContext ctx;
+    auto parsed = ParseWorkflows(&ctx, ReadFileOrDie(path), fixture.name);
+    ASSERT_TRUE(parsed.ok()) << fixture.name << ": " << parsed.status();
+    ASSERT_EQ(parsed.value().size(), 1u);
+    std::vector<Diagnostic> diagnostics =
+        AnalyzeWorkflow(&ctx, parsed.value()[0]);
+    EXPECT_TRUE(analysis::HasFindings(diagnostics)) << fixture.name;
+    const Diagnostic* found = Find(diagnostics, fixture.rule);
+    ASSERT_NE(found, nullptr)
+        << fixture.name << ":\n" << analysis::FormatDiagnostics(diagnostics);
+    EXPECT_EQ(found->loc.line, fixture.line) << fixture.name;
+  }
+}
+
+TEST_F(AnalysisTest, UndeclaredFixtureFailsToParseWithLocation) {
+  std::string path = CDES_SOURCE_DIR "/examples/specs/bad/undeclared.spec";
+  WorkflowContext ctx;
+  auto parsed = ParseWorkflows(&ctx, ReadFileOrDie(path), "undeclared.spec");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("undeclared.spec:7:"),
+            std::string::npos)
+      << parsed.status();
+  EXPECT_NE(parsed.status().message().find("'ghost'"), std::string::npos);
+}
+
+// -------------------------------------------------------------- wait graph
+
+TEST_F(AnalysisTest, WaitGraphExposesMustEdgesOnly) {
+  auto parsed = ParseWorkflow(&ctx_, R"(
+workflow t {
+  agent a @ site(0);
+  event e agent(a);
+  event f agent(a);
+  dep d: ~e + f . e;
+}
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  CompileOptions raw;
+  raw.simplify = false;
+  CompiledWorkflow compiled =
+      CompileWorkflow(&ctx_, parsed.value().spec, raw);
+  analysis::WaitGraph graph = analysis::BuildWaitGraph(compiled);
+  SymbolId e = parsed.value().FindEvent("e")->symbol;
+  SymbolId f = parsed.value().FindEvent("f")->symbol;
+  EventLiteral pe = EventLiteral::Positive(e);
+  // e must wait for f's occurrence; nothing else must-waits.
+  ASSERT_TRUE(graph.edges.count(pe));
+  EXPECT_TRUE(graph.edges.at(pe).count(EventLiteral::Positive(f)));
+  EXPECT_FALSE(graph.edges.count(EventLiteral::Positive(f)));
+  EXPECT_TRUE(analysis::FindWaitCycles(graph).empty());
+}
+
+}  // namespace
+}  // namespace cdes

@@ -19,6 +19,7 @@
 #include "algebra/generator.h"
 #include "guards/context.h"
 #include "runtime/event_actor.h"
+#include "temporal/guard_needs.h"
 #include "temporal/guard_semantics.h"
 #include "temporal/reduction.h"
 #include "temporal/simplify.h"

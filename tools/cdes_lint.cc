@@ -1,0 +1,122 @@
+// cdes-lint — static analysis over workflow specs.
+//
+// Parses each spec file and runs the purely symbolic analyzer over every
+// workflow it declares: dependency triviality (CL001/CL002), guard
+// triviality (CL003/CL004), static wait-graph deadlock detection
+// (CL005/CL006), redundancy (CL007), and symbol hygiene (CL008–CL010).
+// Parse failures surface as CL000 with the same file:line:col location the
+// parser reports. See docs/ANALYSIS.md for the rule catalogue.
+//
+// Exit status: 0 when no error-severity findings (warnings and notes do not
+// fail the lint unless --werror), 1 when some file has errors, 2 on usage
+// or I/O problems.
+//
+// Usage:  cdes-lint [--json] [--werror] [--no-redundancy] file.wf...
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "spec/parser.h"
+
+namespace {
+
+using cdes::ParsedWorkflow;
+using cdes::SourceLocation;
+using cdes::WorkflowContext;
+using cdes::analysis::AnalyzeOptions;
+using cdes::analysis::Diagnostic;
+using cdes::analysis::Rule;
+
+// Recovers the SourceLocation a parse error carries in its "file:line:col: "
+// message prefix, leaving the bare message. Best-effort: a message without
+// the prefix is returned unchanged with an unknown location.
+Diagnostic ParseErrorDiagnostic(const std::string& file,
+                                std::string message) {
+  if (!file.empty() && message.rfind(file + ":", 0) == 0) {
+    message.erase(0, file.size() + 1);
+  }
+  SourceLocation loc;
+  int line = 0, column = 0, consumed = 0;
+  if (std::sscanf(message.c_str(), "%d:%d: %n", &line, &column, &consumed) ==
+          2 &&
+      consumed > 0) {
+    loc.line = line;
+    loc.column = column;
+    message.erase(0, static_cast<size_t>(consumed));
+  }
+  Diagnostic d = cdes::analysis::MakeDiagnostic(Rule::kParseError,
+                                                std::move(message), loc);
+  d.file = file;
+  return d;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cdes-lint [--json] [--werror] [--no-redundancy] "
+               "file.wf...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  AnalyzeOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--no-redundancy") {
+      options.check_redundancy = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  std::vector<Diagnostic> all;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cdes-lint: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    // Each file gets a fresh context: symbol ids and arenas are per-spec.
+    WorkflowContext ctx;
+    auto parsed = cdes::ParseWorkflows(&ctx, buffer.str(), path);
+    if (!parsed.ok()) {
+      all.push_back(ParseErrorDiagnostic(path, parsed.status().message()));
+      continue;
+    }
+    for (const ParsedWorkflow& workflow : parsed.value()) {
+      for (Diagnostic& d :
+           cdes::analysis::AnalyzeWorkflow(&ctx, workflow, options)) {
+        d.file = path;
+        all.push_back(std::move(d));
+      }
+    }
+  }
+
+  if (json) {
+    std::printf("%s", cdes::analysis::DiagnosticsToJson(all).c_str());
+  } else if (!all.empty()) {
+    std::printf("%s", cdes::analysis::FormatDiagnostics(all).c_str());
+  }
+
+  using cdes::analysis::Severity;
+  Severity fail_at = werror ? Severity::kWarning : Severity::kError;
+  return cdes::analysis::HasFindings(all, fail_at) ? 1 : 0;
+}
