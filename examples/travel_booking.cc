@@ -11,9 +11,11 @@
 // a Chrome-trace JSON loadable in Perfetto (see docs/OBSERVABILITY.md).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "agents/task_agent.h"
+#include "engine/engine.h"
 #include "obs/chrome_trace.h"
 #include "obs/obs.h"
 #include "params/param_workflow.h"
@@ -46,19 +48,85 @@ void PrintHistory(const cdes::GuardScheduler& sched,
               sched.HistoryConsistent() ? "yes" : "NO");
 }
 
+// --engine=N mode: run N customer instances through the sharded
+// multi-instance engine (src/engine, docs/ENGINE.md) instead of the
+// narrative single-instance phases, and print the engine's metrics
+// snapshot. With --trace=<file> the exported timeline carries one span per
+// instance (rows grouped by shard).
+int RunEngineMode(size_t instances, size_t shards, const char* trace_path) {
+  using namespace cdes;
+  std::printf("== Engine: %zu customers", instances);
+  if (shards > 0) std::printf(" across %zu shards", shards);
+  std::printf(" ==\n");
+
+  auto spec = engine::EngineSpec::FromText(kTravelSpec);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  obs::TraceRecorder recorder;
+  engine::EngineOptions opts;
+  opts.shards = shards;  // 0 = auto
+  if (trace_path != nullptr) opts.tracer = &recorder;
+  engine::Engine eng(spec.value(), opts);
+  for (size_t i = 0; i < instances; ++i) {
+    engine::InstanceScript script;
+    script.tag = i;
+    // Two thirds of the customers commit, the rest compensate.
+    script.attempts = i % 3 == 2
+                          ? std::vector<std::string>{"s_buy", "c_book", "~c_buy"}
+                          : std::vector<std::string>{"s_buy", "c_book", "c_buy"};
+    if (!eng.Submit(std::move(script)).ok()) return 1;
+  }
+  eng.Drain();
+  eng.Stop();
+
+  size_t consistent = 0;
+  for (const engine::InstanceResult& r : eng.TakeResults()) {
+    if (r.consistent && r.maximal) ++consistent;
+  }
+  engine::EngineMetricsSnapshot snap = eng.Metrics();
+  std::printf("%s", snap.ToString().c_str());
+  std::printf("  consistent maximal traces: %zu / %zu\n", consistent,
+              instances);
+
+  if (trace_path != nullptr) {
+    Status written = obs::WriteChromeTrace(recorder, trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                recorder.events().size(), trace_path);
+  }
+  return consistent == instances ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cdes;
 
   const char* trace_path = nullptr;
+  size_t engine_instances = 0;
+  size_t engine_shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      engine_instances = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      engine_shards = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--trace=<file>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace=<file>] [--engine=<instances> "
+                   "[--shards=<k>]]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (engine_instances > 0) {
+    return RunEngineMode(engine_instances, engine_shards, trace_path);
   }
   // One recorder + registry shared by all three phases: the exported
   // timeline shows them back to back (each phase restarts SimTime at 0).

@@ -1,0 +1,186 @@
+#include "engine/engine.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "runtime/event_log.h"
+
+namespace cdes::engine {
+namespace {
+
+size_t AutoShards() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 2 ? hw / 2 : 1;
+}
+
+}  // namespace
+
+void EngineMetricsSnapshot::PublishTo(obs::MetricsRegistry* registry) const {
+  registry->gauge("engine.shards")->Set(static_cast<double>(shards));
+  registry->gauge("engine.instances.submitted")
+      ->Set(static_cast<double>(instances_submitted));
+  registry->gauge("engine.instances.completed")
+      ->Set(static_cast<double>(instances_completed));
+  registry->gauge("engine.instances.rejected")
+      ->Set(static_cast<double>(instances_rejected));
+  registry->gauge("engine.instances.in_flight")
+      ->Set(static_cast<double>(instances_in_flight));
+  registry->gauge("engine.events")->Set(static_cast<double>(events));
+  registry->gauge("engine.sim_steps")->Set(static_cast<double>(sim_steps));
+  registry->gauge("engine.wall_seconds")->Set(wall_seconds);
+  registry->gauge("engine.events_per_sec")->Set(events_per_sec);
+  for (size_t k = 0; k < shards; ++k) {
+    registry->gauge(StrCat("engine.shard", k, ".queue_depth"))
+        ->Set(static_cast<double>(shard_queue_depth[k]));
+    registry->gauge(StrCat("engine.shard", k, ".resident"))
+        ->Set(static_cast<double>(shard_resident[k]));
+    registry->gauge(StrCat("engine.shard", k, ".events"))
+        ->Set(static_cast<double>(shard_events[k]));
+    registry->gauge(StrCat("engine.shard", k, ".instances"))
+        ->Set(static_cast<double>(shard_instances[k]));
+  }
+}
+
+std::string EngineMetricsSnapshot::ToString() const {
+  std::string out = StrCat(
+      "engine: ", shards, " shard(s)\n  instances: ", instances_submitted,
+      " submitted, ", instances_completed, " completed, ", instances_rejected,
+      " rejected, ", instances_in_flight, " in flight\n  events: ", events,
+      " (", sim_steps, " sim steps) in ", wall_seconds, "s  =>  ",
+      static_cast<uint64_t>(events_per_sec), " events/sec\n");
+  for (size_t k = 0; k < shards; ++k) {
+    out += StrCat("  shard ", k, ": ", shard_instances[k], " instances, ",
+                  shard_events[k], " events, queue=", shard_queue_depth[k],
+                  " resident=", shard_resident[k], "\n");
+  }
+  return out;
+}
+
+Engine::Engine(EngineSpecRef spec, const EngineOptions& options)
+    : spec_(std::move(spec)),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (options_.shards == 0) options_.shards = AutoShards();
+  manager_ = std::make_unique<InstanceManager>(
+      options_.shards, options_.max_in_flight, options_.tracer);
+  shards_.reserve(options_.shards);
+  for (size_t k = 0; k < options_.shards; ++k) {
+    ShardOptions sopts;
+    sopts.index = k;
+    sopts.max_resident = options_.max_resident_per_shard;
+    sopts.step_batch = options_.step_batch;
+    sopts.seed = options_.seed;
+    sopts.sites = spec_->site_count();
+    sopts.base_latency = options_.base_latency;
+    sopts.jitter = options_.jitter;
+    sopts.enable_promises = options_.enable_promises;
+    sopts.auto_trigger = options_.auto_trigger;
+    sopts.simplify_guards = options_.simplify_guards;
+    sopts.durable_logs = options_.durable_logs;
+    sopts.start_paused = options_.start_paused;
+    sopts.epoch = epoch_;
+    shards_.push_back(std::make_unique<Shard>(spec_, sopts, manager_.get()));
+  }
+  for (auto& shard : shards_) shard->Start();
+}
+
+Engine::~Engine() { Stop(); }
+
+uint64_t Engine::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Result<uint64_t> Engine::Submit(InstanceScript script) {
+  return SubmitInternal(std::move(script), /*block=*/true);
+}
+
+Result<uint64_t> Engine::TrySubmit(InstanceScript script) {
+  return SubmitInternal(std::move(script), /*block=*/false);
+}
+
+Result<uint64_t> Engine::SubmitInternal(InstanceScript script, bool block) {
+  CDES_CHECK(!stopped_) << "Submit after Stop";
+  Result<uint64_t> id = manager_->Admit(block);
+  if (!id.ok()) return id;
+  EngineCommand cmd;
+  cmd.kind = EngineCommand::Kind::kRun;
+  cmd.id = id.value();
+  cmd.script = std::move(script);
+  cmd.submitted_at_us = NowUs();
+  shards_[manager_->ShardFor(id.value())]->Push(std::move(cmd));
+  return id;
+}
+
+Status Engine::Recover(const std::vector<std::string>& logs) {
+  CDES_CHECK(!stopped_) << "Recover after Stop";
+  for (const std::string& text : logs) {
+    // Route by the header's instance id: id % shards is stable across
+    // restarts, so the log lands on the shard index that owned it.
+    Result<uint64_t> id = EventLog::PeekInstance(text);
+    if (!id.ok()) return id.status();
+    Status admitted = manager_->AdmitRecovered(id.value());
+    if (!admitted.ok()) return admitted;
+    EngineCommand cmd;
+    cmd.kind = EngineCommand::Kind::kRecover;
+    cmd.id = id.value();
+    cmd.log_text = text;
+    cmd.submitted_at_us = NowUs();
+    shards_[manager_->ShardFor(id.value())]->Push(std::move(cmd));
+  }
+  return Status::OK();
+}
+
+void Engine::Resume() {
+  for (auto& shard : shards_) shard->Resume();
+}
+
+void Engine::Drain() {
+  Resume();  // a paused engine can never drain
+  manager_->Drain();
+}
+
+void Engine::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  Resume();
+  for (auto& shard : shards_) {
+    EngineCommand cmd;
+    cmd.kind = EngineCommand::Kind::kStop;
+    shard->Push(std::move(cmd));
+  }
+  for (auto& shard : shards_) shard->Join();
+  stopped_at_us_ = NowUs();
+}
+
+EngineMetricsSnapshot Engine::Metrics() const {
+  EngineMetricsSnapshot snap;
+  snap.shards = shards_.size();
+  snap.instances_submitted = manager_->submitted();
+  snap.instances_completed = manager_->completed();
+  snap.instances_rejected = manager_->rejected();
+  snap.instances_in_flight = manager_->in_flight();
+  snap.events = manager_->events_total();
+  for (const auto& shard : shards_) {
+    snap.sim_steps += shard->sim_steps();
+    snap.shard_queue_depth.push_back(shard->queue_depth());
+    snap.shard_resident.push_back(shard->resident());
+    snap.shard_events.push_back(shard->events());
+    snap.shard_instances.push_back(shard->instances_completed());
+  }
+  uint64_t now_us = stopped_ ? stopped_at_us_ : NowUs();
+  snap.wall_seconds = static_cast<double>(now_us) / 1e6;
+  snap.events_per_sec = snap.wall_seconds > 0
+                            ? static_cast<double>(snap.events) / snap.wall_seconds
+                            : 0;
+  return snap;
+}
+
+std::vector<InstanceResult> Engine::TakeResults() {
+  return manager_->TakeResults();
+}
+
+}  // namespace cdes::engine

@@ -1,0 +1,156 @@
+#ifndef CDES_ENGINE_ENGINE_H_
+#define CDES_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine_spec.h"
+#include "engine/instance.h"
+#include "engine/shard.h"
+#include "obs/obs.h"
+
+namespace cdes::engine {
+
+struct EngineOptions {
+  /// Worker shards. 0 = auto (half the hardware threads, at least 1).
+  size_t shards = 0;
+  /// Admission limit: instances in flight (submitted, not yet completed)
+  /// before Submit blocks / TrySubmit rejects. 0 = unbounded.
+  size_t max_in_flight = 4096;
+  /// Instances a shard interleaves at once; further commands wait in its
+  /// mailbox (bounds live memory at shards × max_resident worlds).
+  size_t max_resident_per_shard = 64;
+  /// Simulator events per instance per cooperative turn.
+  size_t step_batch = 64;
+  /// Seed for the per-instance network RNG streams. Together with the
+  /// submission order (which fixes instance ids), this fully determines
+  /// every instance's history — independent of shard count.
+  uint64_t seed = 1;
+  /// Per-instance simulated network latency between distinct sites, plus
+  /// uniform jitter drawn from the instance's seeded RNG.
+  SimTime base_latency = 1000;
+  SimTime jitter = 0;
+  /// Scheduler behavior, passed through to every instance scheduler.
+  bool enable_promises = true;
+  bool auto_trigger = true;
+  bool simplify_guards = true;
+  /// Keep one EventLog per instance and return its serialized form in the
+  /// InstanceResult, enabling Engine::Recover after a crash.
+  bool durable_logs = false;
+  /// Construct paused: submissions queue but no shard consumes until
+  /// Resume(). Deterministic admission tests; bench preloading.
+  bool start_paused = false;
+  /// When set, one Complete span per instance ("instance <id>", tid =
+  /// instance id, pid = shard index, wall-clock microseconds) is recorded.
+  /// Calls are serialized by the instance manager, so an ordinary
+  /// TraceRecorder is safe despite the multi-threaded engine.
+  obs::TraceRecorder* tracer = nullptr;
+};
+
+/// Point-in-time view of the engine's counters, safe to take while the
+/// engine runs (assembled from atomics and the manager's mutex-guarded
+/// tallies — never from shard-confined registries).
+struct EngineMetricsSnapshot {
+  size_t shards = 0;
+  uint64_t instances_submitted = 0;
+  uint64_t instances_completed = 0;
+  uint64_t instances_rejected = 0;
+  uint64_t instances_in_flight = 0;
+  /// Occurrences across completed instances.
+  uint64_t events = 0;
+  /// Simulator events executed across all shards (scheduler + network
+  /// machinery included): the engine's true work rate.
+  uint64_t sim_steps = 0;
+  double wall_seconds = 0;
+  /// events / wall_seconds: aggregate multi-instance throughput.
+  double events_per_sec = 0;
+  std::vector<size_t> shard_queue_depth;
+  std::vector<size_t> shard_resident;
+  std::vector<uint64_t> shard_events;
+  std::vector<uint64_t> shard_instances;
+
+  /// Publishes the snapshot as "engine.*" gauges (plus per-shard
+  /// "engine.shard<k>.*") into `registry`, alongside whatever "sched.*" /
+  /// "net.*" metrics the caller already collects there. Call from the
+  /// thread that owns the registry.
+  void PublishTo(obs::MetricsRegistry* registry) const;
+  /// Multi-line human-readable rendering (examples, operator dumps).
+  std::string ToString() const;
+};
+
+/// The multi-instance workflow engine: compiles a spec once per shard and
+/// runs N workflow instances across K worker shards, each instance an
+/// isolated deterministic world (own simulator, network, distributed guard
+/// scheduler) — the sharding story Singh's instance-local guard synthesis
+/// licenses (§4.2–4.3: guards consult only announcements of their own
+/// instance). See docs/ENGINE.md.
+///
+/// Lifecycle: construct (threads start, optionally paused) → Submit /
+/// TrySubmit / Recover → Drain → TakeResults → Stop (idempotent; the
+/// destructor calls it). Submit and friends are safe from any one caller
+/// thread at a time; shards run concurrently with all of them.
+class Engine {
+ public:
+  explicit Engine(EngineSpecRef spec, const EngineOptions& options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submits one instance; blocks while the admission limit is reached
+  /// (backpressure). Returns the instance id.
+  Result<uint64_t> Submit(InstanceScript script);
+  /// Non-blocking admission: kResourceExhausted when the limit is reached
+  /// (counted in instances_rejected).
+  Result<uint64_t> TrySubmit(InstanceScript script);
+
+  /// Rebuilds one in-flight instance per serialized EventLog (produced by
+  /// a durable_logs run — see InstanceResult::log_text), routes it to the
+  /// shard that owned it, and drives it to a maximal trace. Torn tails
+  /// (crash mid-append) lose only their final record. Returns the first
+  /// routing error; per-instance failures surface in that instance's
+  /// result instead.
+  Status Recover(const std::vector<std::string>& logs);
+
+  /// Lifts start_paused: queued submissions begin executing.
+  void Resume();
+  /// Blocks until every admitted instance has completed. Resumes paused
+  /// shards first (a paused engine can never drain).
+  void Drain();
+  /// Drains, stops every shard, and joins the worker threads. Idempotent.
+  void Stop();
+
+  EngineMetricsSnapshot Metrics() const;
+  /// Completed-instance results accumulated since the last call, in
+  /// completion order.
+  std::vector<InstanceResult> TakeResults();
+
+  size_t shard_count() const { return shards_.size(); }
+  const EngineSpec& spec() const { return *spec_; }
+  /// A stopped shard's private registry ("sched.*", "net.*" across its
+  /// instances). Only meaningful after Stop().
+  const obs::MetricsRegistry& shard_metrics(size_t shard) const {
+    return shards_[shard]->metrics();
+  }
+
+ private:
+  Result<uint64_t> SubmitInternal(InstanceScript script, bool block);
+  uint64_t NowUs() const;
+
+  EngineSpecRef spec_;
+  EngineOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<InstanceManager> manager_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool stopped_ = false;
+  /// Wall time frozen at Stop() so post-run Metrics() report the run's
+  /// throughput, not decaying averages.
+  uint64_t stopped_at_us_ = 0;
+};
+
+}  // namespace cdes::engine
+
+#endif  // CDES_ENGINE_ENGINE_H_

@@ -1,0 +1,248 @@
+#include "engine/shard.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "runtime/event_log.h"
+
+namespace cdes::engine {
+namespace {
+
+/// splitmix64 over (engine seed, instance id): decorrelated per-instance
+/// RNG streams that depend on nothing a shard knows — the determinism
+/// guarantee "same seed + same submission order ⇒ identical per-instance
+/// histories regardless of shard count" rests on this.
+uint64_t MixSeed(uint64_t seed, uint64_t id) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (id + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Shard::Shard(EngineSpecRef spec, const ShardOptions& options,
+             InstanceManager* manager)
+    : spec_(std::move(spec)), options_(options), manager_(manager) {
+  paused_ = options_.start_paused;
+}
+
+Shard::~Shard() { Join(); }
+
+void Shard::Start() {
+  CDES_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Shard::Push(EngineCommand cmd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(cmd));
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+void Shard::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_one();
+}
+
+void Shard::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t Shard::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - options_.epoch)
+          .count());
+}
+
+void Shard::ThreadMain() {
+  // Materialize and compile the workflow once, on this thread, into this
+  // shard's private context. The EngineSpec was validated at construction,
+  // so failure here is a bug, not an input error.
+  ctx_ = std::make_unique<WorkflowContext>();
+  Result<ParsedWorkflow> parsed = spec_->Materialize(ctx_.get());
+  CDES_CHECK(parsed.ok()) << parsed.status();
+  workflow_ = std::move(parsed).value();
+  CompileOptions copts;
+  copts.simplify = options_.simplify_guards;
+  compiled_ = CompileWorkflowShared(ctx_.get(), workflow_.spec, copts);
+
+  std::vector<std::unique_ptr<Resident>> active;
+  bool stopping = false;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Idle shard: block until work arrives (or a pause lifts). A shard
+      // with resident instances never blocks — it polls the mailbox
+      // between turns.
+      if (active.empty() && !stopping) {
+        cv_.wait(lock, [this] { return !paused_ && !queue_.empty(); });
+      }
+      while (!paused_ && !queue_.empty() &&
+             active.size() < options_.max_resident) {
+        EngineCommand cmd = std::move(queue_.front());
+        queue_.pop_front();
+        queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+        if (cmd.kind == EngineCommand::Kind::kStop) {
+          stopping = true;
+          break;
+        }
+        lock.unlock();  // world construction happens outside the mailbox
+        active.push_back(AdmitInstance(std::move(cmd)));
+        resident_.store(active.size(), std::memory_order_relaxed);
+        lock.lock();
+      }
+    }
+    if (active.empty()) {
+      if (stopping) break;
+      continue;
+    }
+    // One cooperative turn per resident instance, in admission order.
+    for (auto it = active.begin(); it != active.end();) {
+      if (StepInstance(**it)) {
+        Finish(**it);
+        it = active.erase(it);
+        resident_.store(active.size(), std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
+  auto r = std::make_unique<Resident>();
+  r->id = cmd.id;
+  r->submitted_at_us = cmd.submitted_at_us;
+  r->script = std::move(cmd.script);
+  r->result.id = cmd.id;
+  r->result.tag = r->script.tag;
+  r->result.shard = options_.index;
+
+  NetworkOptions nopts;
+  nopts.base_latency = options_.base_latency;
+  nopts.local_latency = options_.local_latency;
+  nopts.jitter = options_.jitter;
+  nopts.seed = MixSeed(options_.seed, cmd.id);
+  nopts.metrics = &metrics_;
+  r->net = std::make_unique<Network>(&r->sim, options_.sites, nopts);
+
+  GuardSchedulerOptions sopts;
+  sopts.enable_promises = options_.enable_promises;
+  sopts.auto_trigger = options_.auto_trigger;
+  sopts.simplify_guards = options_.simplify_guards;
+  sopts.metrics = &metrics_;
+  sopts.lifecycle_instrumentation = false;
+  if (options_.durable_logs) {
+    r->log = std::make_unique<EventLog>();
+    r->log->set_instance(cmd.id);
+    sopts.durable_log = r->log.get();
+  }
+  r->sched = std::make_unique<GuardScheduler>(ctx_.get(), compiled_,
+                                              workflow_, r->net.get(), sopts);
+
+  if (cmd.kind == EngineCommand::Kind::kRecover) {
+    // Rebuild pre-crash state from the serialized log. LoadTolerant is the
+    // point: a log torn by a crash mid-append loses only its final record.
+    r->phase = Resident::Phase::kClosing;
+    auto log = EventLog::LoadTolerant(*ctx_->alphabet(), cmd.log_text);
+    if (!log.ok()) {
+      r->result.error = StrCat("recovery log unreadable: ",
+                               log.status().ToString());
+      r->phase = Resident::Phase::kDone;
+      return r;
+    }
+    Status recovered = r->sched->Recover(log.value());
+    if (!recovered.ok()) {
+      r->result.error = StrCat("recovery failed: ", recovered.ToString());
+      r->phase = Resident::Phase::kDone;
+      return r;
+    }
+    if (r->log != nullptr) {
+      // Seed the new durable log with the recovered prefix so a second
+      // crash still has the full history.
+      for (const EventLog::Record& rec : log.value().records()) {
+        r->log->Append(rec);
+      }
+    }
+    if (!log.value().records().empty()) {
+      // Resume the instance clock at the crash point so post-recovery
+      // stamps stay monotone with the recovered prefix.
+      r->sim.RunUntil(log.value().records().back().stamp.time);
+    }
+  }
+  return r;
+}
+
+bool Shard::StepInstance(Resident& r) {
+  if (r.sim.pending() > 0) {
+    sim_steps_.fetch_add(r.sim.Run(options_.step_batch),
+                         std::memory_order_relaxed);
+    if (r.sim.pending() > 0) return false;  // yield; more next turn
+  }
+  // The instance world is quiescent: advance the script state machine.
+  switch (r.phase) {
+    case Resident::Phase::kScript: {
+      if (r.pos < r.script.attempts.size()) {
+        const std::string& name = r.script.attempts[r.pos++];
+        Result<EventLiteral> literal = ctx_->alphabet()->ParseLiteral(name);
+        if (!literal.ok()) {
+          r.result.error = StrCat("unknown event '", name, "'");
+          r.phase = Resident::Phase::kDone;
+          return true;
+        }
+        InstanceResult* result = &r.result;
+        r.sched->Attempt(literal.value(), [result](Decision d) {
+          if (d == Decision::kAccepted) ++result->accepted;
+          if (d == Decision::kRejected) ++result->rejected;
+        });
+        return false;
+      }
+      if (!r.script.close) {
+        r.phase = Resident::Phase::kDone;
+        return true;
+      }
+      r.phase = Resident::Phase::kClosing;
+      return false;
+    }
+    case Resident::Phase::kClosing: {
+      if (r.sched->Undecided().empty() ||
+          ++r.close_rounds > options_.max_close_rounds) {
+        r.phase = Resident::Phase::kDone;
+        return true;
+      }
+      r.sched->Close();
+      return false;
+    }
+    case Resident::Phase::kDone:
+      return true;
+  }
+  return true;
+}
+
+void Shard::Finish(Resident& r) {
+  if (r.result.error.empty()) {
+    r.result.events = r.sched->history().size();
+    r.result.sim_time = r.sim.now();
+    r.result.maximal = r.sched->Undecided().empty();
+    // A maximal trace must satisfy every dependency outright; a partial
+    // one only has to keep every residual satisfiable.
+    r.result.consistent = r.sched->HistoryConsistent(r.result.maximal);
+    r.result.history = TraceToString(r.sched->history(), *ctx_->alphabet());
+    if (r.log != nullptr) {
+      r.result.log_text = r.log->Serialize(*ctx_->alphabet());
+    }
+  }
+  events_.fetch_add(r.result.events, std::memory_order_relaxed);
+  instances_completed_.fetch_add(1, std::memory_order_relaxed);
+  manager_->Complete(std::move(r.result), r.submitted_at_us, NowUs());
+}
+
+}  // namespace cdes::engine

@@ -1,0 +1,162 @@
+#ifndef CDES_ENGINE_SHARD_H_
+#define CDES_ENGINE_SHARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine_spec.h"
+#include "engine/instance.h"
+#include "guards/context.h"
+#include "guards/workflow.h"
+#include "obs/obs.h"
+#include "sched/guard_scheduler.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace cdes::engine {
+
+/// Per-shard knobs, derived by the Engine from its EngineOptions.
+struct ShardOptions {
+  size_t index = 0;
+  /// Cap on instances interleaved on the shard at once; commands beyond it
+  /// wait in the mailbox.
+  size_t max_resident = 64;
+  /// Simulator events one instance may execute per cooperative turn before
+  /// yielding to the next resident instance.
+  size_t step_batch = 64;
+  /// Engine seed; each instance's network RNG is seeded from (seed,
+  /// instance id) only, which is what makes histories independent of shard
+  /// count and placement.
+  uint64_t seed = 1;
+  /// Per-instance simulated-network shape.
+  size_t sites = 1;
+  SimTime base_latency = 1000;
+  SimTime local_latency = 1;
+  SimTime jitter = 0;
+  /// Scheduler behavior (GuardSchedulerOptions passthrough).
+  bool enable_promises = true;
+  bool auto_trigger = true;
+  bool simplify_guards = true;
+  /// Keep a per-instance EventLog and ship its serialized form in the
+  /// result (enables Engine::Recover).
+  bool durable_logs = false;
+  /// Start with the mailbox paused: commands queue but nothing runs until
+  /// Resume() (deterministic backpressure tests, bench preloading).
+  bool start_paused = false;
+  /// Closure waves before giving up on maximality (closure can need
+  /// several waves when complements park against in-flight announcements).
+  size_t max_close_rounds = 16;
+  /// Wall-clock epoch for instance-span timestamps.
+  std::chrono::steady_clock::time_point epoch{};
+};
+
+/// One worker: a thread owning an MPSC mailbox of EngineCommands and a set
+/// of resident workflow instances it steps cooperatively (round-robin, a
+/// bounded batch of simulator events per instance per turn — so thousands
+/// of submitted instances make progress with at most `max_resident` worlds
+/// live at once).
+///
+/// Thread-confinement is the shard's whole concurrency story: the
+/// WorkflowContext (arenas, alphabet), the compiled guard table, every
+/// resident Simulator/Network/GuardScheduler, and the shard's
+/// MetricsRegistry are touched exclusively by the worker thread. The
+/// compiled table is materialized once on that thread and shared by all
+/// resident instances via CompiledWorkflowRef — the hash-consed arenas
+/// double as a cross-instance memo: reductions computed for one instance
+/// are cache hits for every later instance in the same state. Cross-thread
+/// traffic is the mailbox (mutex + condvar) and a few atomic counters.
+class Shard {
+ public:
+  Shard(EngineSpecRef spec, const ShardOptions& options,
+        InstanceManager* manager);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Spawns the worker thread.
+  void Start();
+  /// Enqueues a command (any thread).
+  void Push(EngineCommand cmd);
+  /// Unpauses a paused mailbox (any thread).
+  void Resume();
+  /// Waits for the worker to finish (it exits after draining a kStop).
+  void Join();
+
+  // ---- Cross-thread introspection (atomics) ----
+  size_t queue_depth() const { return queue_depth_.load(std::memory_order_relaxed); }
+  size_t resident() const { return resident_.load(std::memory_order_relaxed); }
+  uint64_t events() const { return events_.load(std::memory_order_relaxed); }
+  uint64_t instances_completed() const {
+    return instances_completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t sim_steps() const {
+    return sim_steps_.load(std::memory_order_relaxed);
+  }
+
+  /// The shard-private registry all resident schedulers and networks
+  /// report into ("sched.*", "net.*"). Worker-thread-confined while the
+  /// shard runs: read it only after Join().
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  /// One live instance world. Members are declared in dependency order
+  /// (sim before net before sched) so destruction unwinds safely.
+  struct Resident {
+    uint64_t id = 0;
+    uint64_t submitted_at_us = 0;
+    InstanceScript script;
+    size_t pos = 0;
+    enum class Phase { kScript, kClosing, kDone } phase = Phase::kScript;
+    size_t close_rounds = 0;
+    Simulator sim;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<EventLog> log;
+    std::unique_ptr<GuardScheduler> sched;
+    InstanceResult result;
+  };
+
+  void ThreadMain();
+  /// Builds the instance world for a kRun/kRecover command.
+  std::unique_ptr<Resident> AdmitInstance(EngineCommand cmd);
+  /// One cooperative turn; returns true when the instance is finished.
+  bool StepInstance(Resident& r);
+  /// Seals the result and reports it to the InstanceManager.
+  void Finish(Resident& r);
+  uint64_t NowUs() const;
+
+  const EngineSpecRef spec_;
+  const ShardOptions options_;
+  InstanceManager* const manager_;
+
+  // ---- Worker-thread-confined state ----
+  std::unique_ptr<WorkflowContext> ctx_;
+  ParsedWorkflow workflow_;
+  CompiledWorkflowRef compiled_;
+  obs::MetricsRegistry metrics_;
+
+  // ---- Mailbox ----
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<EngineCommand> queue_;
+  bool paused_ = false;
+
+  // ---- Cross-thread counters ----
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> resident_{0};
+  std::atomic<uint64_t> events_{0};
+  std::atomic<uint64_t> instances_completed_{0};
+  std::atomic<uint64_t> sim_steps_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace cdes::engine
+
+#endif  // CDES_ENGINE_SHARD_H_

@@ -81,6 +81,13 @@ CompiledWorkflow CompileWorkflow(WorkflowContext* ctx,
   return out;
 }
 
+CompiledWorkflowRef CompileWorkflowShared(WorkflowContext* ctx,
+                                          const WorkflowSpec& spec,
+                                          const CompileOptions& options) {
+  return std::make_shared<const CompiledWorkflow>(
+      CompileWorkflow(ctx, spec, options));
+}
+
 bool SatisfiesAll(const WorkflowSpec& spec, const Trace& u) {
   for (const Dependency& d : spec.dependencies()) {
     if (!Satisfies(u, d.expr)) return false;

@@ -5,7 +5,7 @@
 namespace cdes {
 namespace {
 
-constexpr char kHeader[] = "cdeslog v1";
+constexpr char kHeaderPrefix[] = "cdeslog v2";
 
 uint64_t Fnv1a(std::string_view text) {
   uint64_t h = 0xCBF29CE484222325ULL;
@@ -14,6 +14,23 @@ uint64_t Fnv1a(std::string_view text) {
     h *= 0x100000001B3ULL;
   }
   return h;
+}
+
+/// The checksummed payload of one record line.
+std::string RecordPayload(uint64_t seq, uint64_t time,
+                          const std::string& literal) {
+  return StrCat(seq, " ", time, " ", literal);
+}
+
+bool ParseU64(const std::string& field, uint64_t* out) {
+  if (field.empty()) return false;
+  uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -27,40 +44,105 @@ void EventLog::Append(const Record& record) {
 }
 
 std::string EventLog::Serialize(const Alphabet& alphabet) const {
-  std::string body = StrCat(kHeader, "\n");
+  std::string body = StrCat(kHeaderPrefix, " ", instance_, "\n");
   for (const Record& r : records_) {
-    body += StrCat(r.stamp.seq, " ", r.stamp.time, " ",
-                   alphabet.LiteralName(r.literal), "\n");
+    std::string payload = RecordPayload(r.stamp.seq, r.stamp.time,
+                                        alphabet.LiteralName(r.literal));
+    body += StrCat(payload, " ", Fnv1a(payload), "\n");
   }
   return StrCat(body, "checksum ", Fnv1a(body), "\n");
 }
 
 Result<EventLog> EventLog::Deserialize(const Alphabet& alphabet,
                                        std::string_view text) {
-  std::vector<std::string> lines = StrSplit(text, '\n');
-  // Allow (and drop) one trailing empty line.
-  if (!lines.empty() && lines.back().empty()) lines.pop_back();
-  if (lines.size() < 2 || lines.front() != kHeader) {
+  return Parse(alphabet, text, /*tolerant=*/false, nullptr);
+}
+
+Result<uint64_t> EventLog::PeekInstance(std::string_view text) {
+  size_t eol = text.find('\n');
+  std::string_view header =
+      eol == std::string_view::npos ? text : text.substr(0, eol);
+  std::vector<std::string> fields = StrSplit(header, ' ');
+  uint64_t instance = 0;
+  if (fields.size() != 3 ||
+      StrCat(fields[0], " ", fields[1]) != kHeaderPrefix ||
+      !ParseU64(fields[2], &instance)) {
     return Status::InvalidArgument("not a cdes event log");
   }
-  std::string checksum_line = lines.back();
-  lines.pop_back();
-  std::string body;
-  for (const std::string& l : lines) body += l + "\n";
-  if (checksum_line != StrCat("checksum ", Fnv1a(body))) {
-    return Status::InvalidArgument("event log checksum mismatch");
+  return instance;
+}
+
+Result<EventLog> EventLog::LoadTolerant(const Alphabet& alphabet,
+                                        std::string_view text,
+                                        bool* dropped_torn_tail) {
+  return Parse(alphabet, text, /*tolerant=*/true, dropped_torn_tail);
+}
+
+Result<EventLog> EventLog::Parse(const Alphabet& alphabet,
+                                 std::string_view text, bool tolerant,
+                                 bool* dropped_torn_tail) {
+  if (dropped_torn_tail != nullptr) *dropped_torn_tail = false;
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  // A complete file ends in '\n', leaving one empty trailing split. A
+  // missing final newline is itself evidence of a torn tail.
+  bool ends_with_newline = !lines.empty() && lines.back().empty();
+  if (ends_with_newline) lines.pop_back();
+  if (lines.empty()) return Status::InvalidArgument("not a cdes event log");
+
+  std::vector<std::string> header = StrSplit(lines.front(), ' ');
+  uint64_t instance = 0;
+  if (header.size() != 3 || StrCat(header[0], " ", header[1]) != kHeaderPrefix ||
+      !ParseU64(header[2], &instance)) {
+    return Status::InvalidArgument("not a cdes event log");
   }
+
+  // Strip the trailer when present and intact. A crashed writer never got
+  // to write one, so in tolerant mode its absence only marks the tail torn.
+  bool has_trailer = false;
+  if (lines.size() >= 2 && lines.back().rfind("checksum ", 0) == 0) {
+    std::string body;
+    for (size_t i = 0; i + 1 < lines.size(); ++i) body += lines[i] + "\n";
+    if (lines.back() == StrCat("checksum ", Fnv1a(body))) {
+      has_trailer = true;
+      lines.pop_back();
+    } else if (!tolerant) {
+      return Status::InvalidArgument("event log checksum mismatch");
+    }
+    // In tolerant mode a bad trailer line is treated as the torn tail: fall
+    // through and let per-record checksums vouch for every real record.
+  } else if (!tolerant) {
+    return Status::InvalidArgument("event log checksum trailer missing");
+  }
+
   EventLog log;
+  log.set_instance(instance);
   for (size_t i = 1; i < lines.size(); ++i) {
+    bool final_line = i + 1 == lines.size();
+    bool may_drop = tolerant && final_line && !has_trailer;
     std::vector<std::string> fields = StrSplit(lines[i], ' ');
-    if (fields.size() != 3) {
+    uint64_t seq = 0, time = 0, crc = 0;
+    bool well_formed = fields.size() == 4 && ParseU64(fields[0], &seq) &&
+                       ParseU64(fields[1], &time) && ParseU64(fields[3], &crc);
+    if (well_formed) {
+      well_formed = crc == Fnv1a(RecordPayload(seq, time, fields[2]));
+    }
+    if (!well_formed) {
+      if (may_drop) {
+        if (dropped_torn_tail != nullptr) *dropped_torn_tail = true;
+        break;
+      }
       return Status::InvalidArgument(
           StrCat("malformed log record at line ", i + 1));
     }
     Record record;
-    record.stamp.seq = std::stoull(fields[0]);
-    record.stamp.time = std::stoull(fields[1]);
-    CDES_ASSIGN_OR_RETURN(record.literal, alphabet.ParseLiteral(fields[2]));
+    record.stamp.seq = seq;
+    record.stamp.time = time;
+    // A checksum-valid record naming an unknown event is corruption (or a
+    // foreign workflow's log), never a torn tail: stay strict even when
+    // tolerant.
+    auto literal = alphabet.ParseLiteral(fields[2]);
+    if (!literal.ok()) return literal.status();
+    record.literal = literal.value();
     log.Append(record);
   }
   return log;

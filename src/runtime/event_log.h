@@ -1,6 +1,7 @@
 #ifndef CDES_RUNTIME_EVENT_LOG_H_
 #define CDES_RUNTIME_EVENT_LOG_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,10 +19,23 @@ namespace cdes {
 /// EventLog (GuardSchedulerOptions::durable_log); every occurrence is
 /// appended before it is announced, and GuardScheduler::Recover replays a
 /// log into a freshly built scheduler, reconstructing decided events,
-/// per-actor knowledge, and reduced guards exactly.
+/// per-actor knowledge, and reduced guards exactly. The multi-instance
+/// engine (src/engine) keeps one log per workflow instance and routes each
+/// log back to a fresh instance in Engine::Recover via the instance id
+/// carried in the header.
 ///
-/// The serialized form is a line-oriented text format with a checksum
-/// trailer, standing in for an on-disk WAL.
+/// The serialized form (v2) is a line-oriented text format standing in for
+/// an on-disk WAL:
+///
+///   cdeslog v2 <instance>
+///   <seq> <time> <literal> <record-crc>     (one line per occurrence)
+///   checksum <body-crc>                     (trailer, written at rest)
+///
+/// Every record line carries its own FNV checksum, so a log cut off
+/// mid-append (a crash between the write and the flush of the final line)
+/// is still recoverable: `LoadTolerant` drops the one torn trailing record
+/// instead of failing the whole recovery, while the strict `Deserialize`
+/// continues to reject any damage anywhere.
 class EventLog {
  public:
   struct Record {
@@ -38,17 +52,44 @@ class EventLog {
   bool empty() const { return records_.empty(); }
   size_t size() const { return records_.size(); }
 
-  /// Renders the log: a header line, one "seq time literal" line per
-  /// record, and a checksum trailer.
+  /// The workflow instance this log belongs to (0 for standalone
+  /// schedulers). Serialized in the header; Engine::Recover uses it to
+  /// route a log back to the instance it describes.
+  uint64_t instance() const { return instance_; }
+  void set_instance(uint64_t instance) { instance_ = instance; }
+
+  /// Renders the log: the header line, one "seq time literal crc" line per
+  /// record, and a whole-body checksum trailer.
   std::string Serialize(const Alphabet& alphabet) const;
 
-  /// Parses a serialized log. Literal names must already be interned in
-  /// `alphabet` (recovery re-parses the workflow spec first). Fails on
-  /// format errors, unknown events, or checksum mismatch.
+  /// Strictly parses a serialized log. Literal names must already be
+  /// interned in `alphabet` (recovery re-parses the workflow spec first).
+  /// Fails on format errors, unknown events, any record checksum mismatch,
+  /// or a missing/mismatching trailer.
   static Result<EventLog> Deserialize(const Alphabet& alphabet,
                                       std::string_view text);
 
+  /// Reads just the instance id out of a serialized log's header, without
+  /// needing an alphabet: Engine::Recover routes each log to its owning
+  /// shard before any shard context exists.
+  static Result<uint64_t> PeekInstance(std::string_view text);
+
+  /// Crash-tolerant load: like Deserialize, but accepts a log whose final
+  /// record line is torn (truncated mid-append) or whose trailer is absent
+  /// — the torn record is dropped and everything before it is recovered.
+  /// `dropped_torn_tail`, when non-null, reports whether a tail was
+  /// discarded. Corruption anywhere other than the final line still fails:
+  /// a torn middle would mean lying about the prefix.
+  static Result<EventLog> LoadTolerant(const Alphabet& alphabet,
+                                       std::string_view text,
+                                       bool* dropped_torn_tail = nullptr);
+
  private:
+  static Result<EventLog> Parse(const Alphabet& alphabet,
+                                std::string_view text, bool tolerant,
+                                bool* dropped_torn_tail);
+
+  uint64_t instance_ = 0;
   std::vector<Record> records_;
 };
 

@@ -25,6 +25,25 @@ GuardScheduler::GuardScheduler(WorkflowContext* ctx,
       transport_(std::make_unique<ReliableTransport>(network,
                                                      options.reliability)),
       options_(options) {
+  Init(workflow, nullptr);
+}
+
+GuardScheduler::GuardScheduler(WorkflowContext* ctx,
+                               CompiledWorkflowRef compiled,
+                               const ParsedWorkflow& workflow,
+                               Network* network,
+                               const GuardSchedulerOptions& options)
+    : ctx_(ctx), network_(network),
+      transport_(std::make_unique<ReliableTransport>(network,
+                                                     options.reliability)),
+      options_(options) {
+  CDES_CHECK(compiled != nullptr);
+  Init(workflow, std::move(compiled));
+}
+
+void GuardScheduler::Init(const ParsedWorkflow& workflow,
+                          CompiledWorkflowRef compiled) {
+  const GuardSchedulerOptions& options = options_;
   if (options.metrics != nullptr) {
     metrics_ = options.metrics;
   } else {
@@ -32,7 +51,8 @@ GuardScheduler::GuardScheduler(WorkflowContext* ctx,
     metrics_ = owned_metrics_.get();
   }
   tracer_ = options.tracer;
-  observe_lifecycle_ = options.metrics != nullptr || tracer_ != nullptr;
+  observe_lifecycle_ = options.lifecycle_instrumentation &&
+                       (options.metrics != nullptr || tracer_ != nullptr);
   sent_announcements_ = metrics_->counter("sched.msgs.announce");
   sent_promises_ = metrics_->counter("sched.msgs.promise");
   sent_promise_requests_ = metrics_->counter("sched.msgs.promise_request");
@@ -52,7 +72,9 @@ GuardScheduler::GuardScheduler(WorkflowContext* ctx,
     actor_obs_.parked_depth = metrics_->histogram("sched.parked_depth");
     actor_obs_.parks = metrics_->counter("sched.parks");
   }
-  Status installed = AddInstance(workflow);
+  Status installed = compiled != nullptr
+                         ? AddInstanceCompiled(std::move(compiled), workflow)
+                         : AddInstance(workflow);
   CDES_CHECK(installed.ok()) << installed;
 }
 
@@ -69,6 +91,18 @@ Status GuardScheduler::AddInstance(const ParsedWorkflow& workflow) {
   CompileOptions copts;
   copts.simplify = options_.simplify_guards;
   CompiledWorkflow compiled = CompileWorkflow(ctx_, workflow.spec, copts);
+  return Install(compiled, workflow);
+}
+
+Status GuardScheduler::AddInstanceCompiled(CompiledWorkflowRef compiled,
+                                           const ParsedWorkflow& workflow) {
+  CDES_RETURN_IF_ERROR(Install(*compiled, workflow));
+  shared_compiles_.push_back(std::move(compiled));
+  return Status::OK();
+}
+
+Status GuardScheduler::Install(const CompiledWorkflow& compiled,
+                               const ParsedWorkflow& workflow) {
   for (SymbolId symbol : compiled.symbols()) {
     if (actors_.count(symbol)) {
       return Status::AlreadyExists(StrCat(

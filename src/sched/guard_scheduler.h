@@ -44,6 +44,13 @@ struct GuardSchedulerOptions {
   /// promise request→grant spans. Null ⇒ every trace site is one
   /// branch-on-null.
   obs::TraceRecorder* tracer = nullptr;
+  /// Per-attempt lifecycle instrumentation (decision-latency histogram,
+  /// parked spans) costs one allocation per attempt; it is enabled whenever
+  /// a registry or tracer is installed. Clearing this keeps the cheap
+  /// counters but skips the per-attempt wrapping — the multi-instance
+  /// engine does so on its throughput path, where thousands of instance
+  /// schedulers share one shard registry.
+  bool lifecycle_instrumentation = true;
 };
 
 /// Message-kind breakdown of the runtime traffic (the paper's message
@@ -75,6 +82,16 @@ class GuardScheduler : public Scheduler, public ActorHost {
   GuardScheduler(WorkflowContext* ctx, const ParsedWorkflow& workflow,
                  Network* network, const GuardSchedulerOptions& options = {});
 
+  /// Like the above, but reuses an already compiled guard table instead of
+  /// synthesizing one: `compiled` must have been produced from
+  /// `workflow.spec` in `ctx` (same arenas). This is the multi-instance
+  /// fast path — the engine compiles a spec once per shard and constructs
+  /// thousands of instance schedulers against the same immutable table,
+  /// skipping the exponential per-dependency canonicalization each time.
+  GuardScheduler(WorkflowContext* ctx, CompiledWorkflowRef compiled,
+                 const ParsedWorkflow& workflow, Network* network,
+                 const GuardSchedulerOptions& options = {});
+
   /// Installs a further workflow instance at runtime (§5.1: "Attempting
   /// some key event binds the parameters of all events, thus instantiating
   /// the workflow afresh"): new actors are created for its events and
@@ -82,6 +99,11 @@ class GuardScheduler : public Scheduler, public ActorHost {
   /// symbols must be disjoint from every installed instance's (instances
   /// from a WorkflowTemplate are, by construction of the mangled names).
   Status AddInstance(const ParsedWorkflow& workflow);
+
+  /// AddInstance against a precompiled guard table (see the shared-compile
+  /// constructor); retains a reference so the table outlives the actors.
+  Status AddInstanceCompiled(CompiledWorkflowRef compiled,
+                             const ParsedWorkflow& workflow);
 
   // ---- Scheduler interface ----
   /// Schedules the attempt at the owning actor's site (agents are
@@ -151,6 +173,12 @@ class GuardScheduler : public Scheduler, public ActorHost {
   Residuator* residuator() override { return ctx_->residuator(); }
 
  private:
+  /// Shared constructor body: resolves metric handles and installs the
+  /// first instance (compiling it unless `compiled` is provided).
+  void Init(const ParsedWorkflow& workflow, CompiledWorkflowRef compiled);
+  /// Instantiates actors and subscriptions for one compiled instance.
+  Status Install(const CompiledWorkflow& compiled,
+                 const ParsedWorkflow& workflow);
   /// Wraps an attempt callback with lifecycle tracing and decision-latency
   /// accounting (only called when observe_lifecycle_).
   AttemptCallback WrapAttempt(EventLiteral literal, int site,
@@ -175,6 +203,9 @@ class GuardScheduler : public Scheduler, public ActorHost {
   uint64_t next_seq_ = 0;
   size_t violations_ = 0;
   WorkflowSpec spec_;
+  /// Shared compiled tables installed via AddInstanceCompiled, kept alive
+  /// for the actors that point into them.
+  std::vector<CompiledWorkflowRef> shared_compiles_;
 
   // ---- Observability (see docs/OBSERVABILITY.md) ----
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;

@@ -1,0 +1,389 @@
+// Tests for the multi-instance workflow engine (src/engine): sharded
+// execution, determinism across shard counts, admission backpressure,
+// durable-log recovery (including torn tails), and the metrics snapshot.
+// The TSan stress cases at the bottom run under the CI thread-sanitizer job.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace cdes::engine {
+namespace {
+
+constexpr char kTravelSpec[] = R"(
+workflow travel {
+  agent air @ site(0);
+  agent car @ site(1);
+  event s_buy    agent(air);
+  event c_buy    agent(air);
+  event s_book   agent(car) attrs(triggerable);
+  event c_book   agent(car);
+  event s_cancel agent(car) attrs(triggerable);
+  dep d1: ~s_buy + s_book;
+  dep d2: ~c_buy + c_book . c_buy;
+  dep d3: ~c_book + c_buy + s_cancel;
+}
+)";
+
+EngineSpecRef TravelSpec() {
+  auto spec = EngineSpec::FromText(kTravelSpec);
+  CDES_CHECK(spec.ok()) << spec.status();
+  return spec.value();
+}
+
+/// A deterministic mix of customer journeys, keyed by instance index.
+InstanceScript ScriptFor(size_t i) {
+  InstanceScript script;
+  script.tag = 1000 + i;
+  switch (i % 3) {
+    case 0:  // happy path: both transactions commit
+      script.attempts = {"s_buy", "c_book", "c_buy"};
+      break;
+    case 1:  // compensation: the purchase aborts, booking gets cancelled
+      script.attempts = {"s_buy", "c_book", "~c_buy"};
+      break;
+    default:  // the customer never buys
+      script.attempts = {"~s_buy"};
+      break;
+  }
+  return script;
+}
+
+std::map<uint64_t, InstanceResult> ById(std::vector<InstanceResult> results) {
+  std::map<uint64_t, InstanceResult> by_id;
+  for (InstanceResult& r : results) by_id[r.id] = std::move(r);
+  return by_id;
+}
+
+TEST(EngineTest, SingleInstanceHappyPath) {
+  EngineOptions opts;
+  opts.shards = 1;
+  Engine eng(TravelSpec(), opts);
+  auto id = eng.Submit(ScriptFor(0));
+  ASSERT_TRUE(id.ok()) << id.status();
+  eng.Drain();
+  auto results = eng.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  const InstanceResult& r = results[0];
+  EXPECT_EQ(r.id, id.value());
+  EXPECT_EQ(r.tag, 1000u);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.maximal);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.accepted, 3u);
+  EXPECT_GE(r.events, 4u);  // three scripted commits + auto-triggered s_book
+  EXPECT_NE(r.history.find("c_buy"), std::string::npos);
+}
+
+TEST(EngineTest, ManyInstancesAllConsistent) {
+  EngineOptions opts;
+  opts.shards = 2;
+  Engine eng(TravelSpec(), opts);
+  constexpr size_t kInstances = 60;
+  for (size_t i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+  }
+  eng.Drain();
+  eng.Stop();
+  auto results = eng.TakeResults();
+  ASSERT_EQ(results.size(), kInstances);
+  for (const InstanceResult& r : results) {
+    EXPECT_TRUE(r.error.empty()) << "instance " << r.id << ": " << r.error;
+    EXPECT_TRUE(r.maximal) << "instance " << r.id;
+    EXPECT_TRUE(r.consistent) << "instance " << r.id << ": " << r.history;
+  }
+  // Modulo placement spread both shards' worth of work.
+  EngineMetricsSnapshot snap = eng.Metrics();
+  EXPECT_EQ(snap.shard_instances[0], kInstances / 2);
+  EXPECT_EQ(snap.shard_instances[1], kInstances / 2);
+}
+
+// The headline determinism guarantee: same seed + same submission order
+// produce identical per-instance histories no matter how many shards the
+// engine runs (placement and thread interleaving must not leak into any
+// instance's world).
+TEST(EngineTest, DeterministicAcrossShardCounts) {
+  constexpr size_t kInstances = 48;
+  std::map<uint64_t, std::string> reference;
+  for (size_t shards : {1u, 2u, 4u}) {
+    EngineOptions opts;
+    opts.shards = shards;
+    opts.seed = 12345;
+    opts.jitter = 500;  // make the seeded RNG actually shape each world
+    Engine eng(TravelSpec(), opts);
+    for (size_t i = 0; i < kInstances; ++i) {
+      ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+    }
+    eng.Drain();
+    auto by_id = ById(eng.TakeResults());
+    ASSERT_EQ(by_id.size(), kInstances);
+    if (reference.empty()) {
+      for (const auto& [id, r] : by_id) reference[id] = r.history;
+      continue;
+    }
+    for (const auto& [id, r] : by_id) {
+      EXPECT_EQ(r.history, reference[id])
+          << "instance " << id << " diverged at " << shards << " shards";
+    }
+  }
+}
+
+// A different seed must actually change something (otherwise the previous
+// test would pass vacuously on constant output).
+TEST(EngineTest, SeedReachesInstanceWorlds) {
+  auto run = [](uint64_t seed) {
+    EngineOptions opts;
+    opts.shards = 1;
+    opts.seed = seed;
+    opts.jitter = 500;
+    Engine eng(TravelSpec(), opts);
+    for (size_t i = 0; i < 16; ++i) (void)eng.Submit(ScriptFor(i));
+    eng.Drain();
+    uint64_t total_time = 0;
+    for (const InstanceResult& r : eng.TakeResults()) total_time += r.sim_time;
+    return total_time;
+  };
+  // Latency jitter is drawn from the seeded per-instance RNG, so the
+  // aggregate simulated time differs across seeds.
+  EXPECT_NE(run(1), run(999));
+}
+
+TEST(EngineTest, BackpressureRejectsWhenFull) {
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.max_in_flight = 4;
+  opts.start_paused = true;  // nothing completes until Resume
+  Engine eng(TravelSpec(), opts);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(eng.TrySubmit(ScriptFor(i)).ok());
+  }
+  auto overflow = eng.TrySubmit(ScriptFor(4));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(eng.Metrics().instances_rejected, 1u);
+  EXPECT_EQ(eng.Metrics().instances_in_flight, 4u);
+
+  eng.Drain();  // resumes, then waits
+  EXPECT_EQ(eng.Metrics().instances_in_flight, 0u);
+  // Capacity is back: the same submission is admitted now.
+  EXPECT_TRUE(eng.TrySubmit(ScriptFor(4)).ok());
+  eng.Drain();
+  EXPECT_EQ(eng.TakeResults().size(), 5u);
+}
+
+TEST(EngineTest, UnknownEventSurfacesAsInstanceError) {
+  EngineOptions opts;
+  opts.shards = 1;
+  Engine eng(TravelSpec(), opts);
+  InstanceScript script;
+  script.attempts = {"s_buy", "no_such_event"};
+  ASSERT_TRUE(eng.Submit(std::move(script)).ok());
+  eng.Drain();
+  auto results = eng.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].error.find("no_such_event"), std::string::npos);
+  EXPECT_FALSE(results[0].consistent);
+}
+
+TEST(EngineTest, RecoverResumesFromDurableLogs) {
+  // Phase 1: run instances that stop mid-workflow (no closure), keeping
+  // durable logs — stand-ins for instances in flight at a crash.
+  std::vector<std::string> logs;
+  std::map<uint64_t, std::string> pre_crash_history;
+  {
+    EngineOptions opts;
+    opts.shards = 2;
+    opts.durable_logs = true;
+    Engine eng(TravelSpec(), opts);
+    for (size_t i = 0; i < 6; ++i) {
+      InstanceScript script;
+      script.tag = i;
+      script.attempts = {"s_buy", "c_book"};
+      script.close = false;  // leave c_buy / s_cancel undecided
+      ASSERT_TRUE(eng.Submit(std::move(script)).ok());
+    }
+    eng.Drain();
+    for (InstanceResult& r : eng.TakeResults()) {
+      ASSERT_TRUE(r.error.empty()) << r.error;
+      ASSERT_FALSE(r.maximal);
+      ASSERT_FALSE(r.log_text.empty());
+      pre_crash_history[r.id] = r.history;
+      logs.push_back(std::move(r.log_text));
+    }
+  }
+
+  // Phase 2: a fresh engine rebuilds every instance from its log and
+  // closes it to a maximal trace.
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.durable_logs = true;
+  Engine eng(TravelSpec(), opts);
+  ASSERT_TRUE(eng.Recover(logs).ok());
+  eng.Drain();
+  auto by_id = ById(eng.TakeResults());
+  ASSERT_EQ(by_id.size(), 6u);
+  for (const auto& [id, r] : by_id) {
+    EXPECT_TRUE(r.error.empty()) << "instance " << id << ": " << r.error;
+    EXPECT_TRUE(r.maximal) << "instance " << id;
+    EXPECT_TRUE(r.consistent) << "instance " << id << ": " << r.history;
+    // The recovered history extends the pre-crash one (rendered traces are
+    // "<a b c>", so drop the closing bracket before the prefix check).
+    std::string prefix = pre_crash_history[id];
+    ASSERT_FALSE(prefix.empty());
+    prefix.pop_back();
+    EXPECT_EQ(r.history.rfind(prefix, 0), 0u)
+        << "instance " << id << ": '" << r.history << "' does not extend '"
+        << pre_crash_history[id] << "'";
+    EXPECT_GT(r.history.size(), pre_crash_history[id].size());
+  }
+  // New submissions allocate above every recovered id.
+  auto next = eng.Submit(ScriptFor(0));
+  ASSERT_TRUE(next.ok());
+  EXPECT_GE(next.value(), 6u);
+  eng.Drain();
+}
+
+TEST(EngineTest, RecoverToleratesTornTail) {
+  std::string log_text;
+  {
+    EngineOptions opts;
+    opts.shards = 1;
+    opts.durable_logs = true;
+    Engine eng(TravelSpec(), opts);
+    InstanceScript script;
+    script.attempts = {"s_buy", "c_book"};
+    script.close = false;
+    ASSERT_TRUE(eng.Submit(std::move(script)).ok());
+    eng.Drain();
+    auto results = eng.TakeResults();
+    ASSERT_EQ(results.size(), 1u);
+    log_text = results[0].log_text;
+    ASSERT_FALSE(log_text.empty());
+  }
+  // Simulate a crash mid-append: drop the trailer and cut the final record
+  // line in half.
+  size_t trailer = log_text.rfind("checksum ");
+  ASSERT_NE(trailer, std::string::npos);
+  std::string torn = log_text.substr(0, trailer);
+  size_t last_line = torn.rfind('\n', torn.size() - 2);
+  ASSERT_NE(last_line, std::string::npos);
+  torn = torn.substr(0, last_line + 1 + (torn.size() - last_line) / 2);
+
+  EngineOptions opts;
+  opts.shards = 1;
+  Engine eng(TravelSpec(), opts);
+  ASSERT_TRUE(eng.Recover({torn}).ok());
+  eng.Drain();
+  auto results = eng.TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+  // The torn final record is gone, but the instance still closes maximally.
+  EXPECT_TRUE(results[0].maximal);
+  EXPECT_TRUE(results[0].consistent) << results[0].history;
+}
+
+TEST(EngineTest, MetricsSnapshotAddsUp) {
+  EngineOptions opts;
+  opts.shards = 2;
+  Engine eng(TravelSpec(), opts);
+  constexpr size_t kInstances = 20;
+  for (size_t i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+  }
+  eng.Drain();
+  eng.Stop();
+  EngineMetricsSnapshot snap = eng.Metrics();
+  EXPECT_EQ(snap.shards, 2u);
+  EXPECT_EQ(snap.instances_submitted, kInstances);
+  EXPECT_EQ(snap.instances_completed, kInstances);
+  EXPECT_EQ(snap.instances_in_flight, 0u);
+  EXPECT_GT(snap.events, 0u);
+  EXPECT_GT(snap.sim_steps, snap.events);  // machinery outweighs occurrences
+  uint64_t shard_sum = 0;
+  for (uint64_t n : snap.shard_instances) shard_sum += n;
+  EXPECT_EQ(shard_sum, kInstances);
+
+  obs::MetricsRegistry registry;
+  snap.PublishTo(&registry);
+  EXPECT_EQ(registry.gauge("engine.instances.completed")->value(),
+            static_cast<double>(kInstances));
+  EXPECT_EQ(registry.gauge("engine.shards")->value(), 2.0);
+  EXPECT_FALSE(snap.ToString().empty());
+
+  // Shard-private scheduler registries are readable after Stop and carry
+  // the per-event counters for every instance the shard ran.
+  uint64_t occurrences = 0;
+  for (size_t k = 0; k < eng.shard_count(); ++k) {
+    const auto& counters = eng.shard_metrics(k).counters();
+    auto it = counters.find("sched.occurrences");
+    ASSERT_NE(it, counters.end()) << "shard " << k;
+    occurrences += it->second->value();
+  }
+  EXPECT_EQ(occurrences, snap.events);
+}
+
+TEST(EngineTest, InstanceSpansRecordedWhenTraced) {
+  obs::TraceRecorder recorder;
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.tracer = &recorder;
+  Engine eng(TravelSpec(), opts);
+  for (size_t i = 0; i < 8; ++i) ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+  eng.Drain();
+  eng.Stop();
+  size_t spans = 0;
+  for (const auto& ev : recorder.events()) {
+    if (ev.name.rfind("instance ", 0) == 0) ++spans;
+  }
+  EXPECT_EQ(spans, 8u);
+}
+
+// ---- TSan stress: run under the CI thread-sanitizer job ----
+
+// Submissions, metric snapshots, and result draining race against four
+// worker shards; TSan checks the mailbox/atomics story, the assertions
+// check nothing is lost.
+TEST(EngineStressTest, ConcurrentSubmitSnapshotAndDrain) {
+  EngineOptions opts;
+  opts.shards = 4;
+  opts.max_in_flight = 64;
+  opts.max_resident_per_shard = 8;
+  Engine eng(TravelSpec(), opts);
+  constexpr size_t kInstances = 300;
+  std::vector<InstanceResult> results;
+  for (size_t i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());  // blocks on backpressure
+    if (i % 17 == 0) {
+      (void)eng.Metrics();
+      for (auto& r : eng.TakeResults()) results.push_back(std::move(r));
+    }
+  }
+  eng.Drain();
+  eng.Stop();
+  for (auto& r : eng.TakeResults()) results.push_back(std::move(r));
+  ASSERT_EQ(results.size(), kInstances);
+  for (const InstanceResult& r : results) {
+    EXPECT_TRUE(r.error.empty()) << "instance " << r.id << ": " << r.error;
+    EXPECT_TRUE(r.consistent) << "instance " << r.id;
+  }
+}
+
+TEST(EngineStressTest, StopWithWorkStillQueued) {
+  EngineOptions opts;
+  opts.shards = 4;
+  opts.start_paused = true;
+  Engine eng(TravelSpec(), opts);
+  for (size_t i = 0; i < 100; ++i) ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+  // Stop resumes the shards and lets them drain their mailboxes before
+  // joining: nothing already admitted is dropped.
+  eng.Stop();
+  EXPECT_EQ(eng.TakeResults().size(), 100u);
+}
+
+}  // namespace
+}  // namespace cdes::engine

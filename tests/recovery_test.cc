@@ -66,6 +66,79 @@ TEST(EventLogTest, DetectsCorruption) {
   EXPECT_FALSE(EventLog::Deserialize(alphabet, "nope\nchecksum 0\n").ok());
 }
 
+TEST(EventLogTest, TornTailDroppedOnTolerantLoad) {
+  // Crash mid-append: the file ends in a partial record line and never got
+  // its checksum trailer. LoadTolerant must recover every complete record
+  // and drop only the torn one; strict Deserialize must still refuse.
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  alphabet.Intern("f");
+  EventLog log;
+  log.set_instance(7);
+  log.Append({OccurrenceStamp{100, 0}, EventLiteral::Positive(0)});
+  log.Append({OccurrenceStamp{250, 1}, EventLiteral::Complement(1)});
+  log.Append({OccurrenceStamp{300, 2}, EventLiteral::Positive(1)});
+  std::string text = log.Serialize(alphabet);
+
+  // Cut inside the final record line (drop trailer + half the last line).
+  size_t trailer = text.rfind("checksum ");
+  size_t last_record = text.rfind('\n', trailer - 2) + 1;
+  std::string torn = text.substr(0, last_record + 5);
+
+  EXPECT_FALSE(EventLog::Deserialize(alphabet, torn).ok());
+  bool dropped = false;
+  auto recovered = EventLog::LoadTolerant(alphabet, torn, &dropped);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(recovered.value().instance(), 7u);
+  ASSERT_EQ(recovered.value().size(), 2u);
+  EXPECT_EQ(recovered.value().records()[0], log.records()[0]);
+  EXPECT_EQ(recovered.value().records()[1], log.records()[1]);
+
+  // A torn *trailer* (records all complete, checksum line half-written)
+  // recovers every record.
+  std::string torn_trailer = text.substr(0, trailer + 10);
+  dropped = false;
+  recovered = EventLog::LoadTolerant(alphabet, torn_trailer, &dropped);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(recovered.value().records(), log.records());
+
+  // An intact log loads tolerantly with nothing dropped.
+  dropped = true;
+  recovered = EventLog::LoadTolerant(alphabet, text, &dropped);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(dropped);
+  EXPECT_EQ(recovered.value().records(), log.records());
+}
+
+TEST(EventLogTest, TolerantLoadStillRejectsMidLogCorruption) {
+  // Only the *final* record may be torn: a mangled record in the middle is
+  // corruption and must fail even under LoadTolerant.
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  EventLog log;
+  log.Append({OccurrenceStamp{10, 0}, EventLiteral::Positive(0)});
+  log.Append({OccurrenceStamp{20, 1}, EventLiteral::Complement(0)});
+  std::string text = log.Serialize(alphabet);
+  size_t trailer = text.rfind("checksum ");
+  std::string no_trailer = text.substr(0, trailer);
+  std::string corrupted = no_trailer;
+  corrupted[corrupted.find("e", corrupted.find('\n'))] = 'x';  // record 1
+  EXPECT_FALSE(EventLog::LoadTolerant(alphabet, corrupted).ok());
+}
+
+TEST(EventLogTest, InstanceIdRoundTrips) {
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  EventLog log;
+  log.set_instance(42);
+  log.Append({OccurrenceStamp{5, 0}, EventLiteral::Positive(0)});
+  auto parsed = EventLog::Deserialize(alphabet, log.Serialize(alphabet));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().instance(), 42u);
+}
+
 TEST(EventLogTest, UnknownEventFailsDeserialize) {
   Alphabet a1, a2;
   a1.Intern("e");
