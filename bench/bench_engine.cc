@@ -8,10 +8,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string_view>
 #include <thread>
 
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "obs/profiler.h"
 
 namespace cdes {
 namespace {
@@ -43,11 +46,14 @@ engine::InstanceScript ScriptFor(size_t i) {
 
 /// Preloads `instances` scripts into a paused engine, then times
 /// Resume→Drain only (submission cost excluded). Returns events/sec.
-double RunEngine(size_t shards, size_t instances, uint64_t* events_out) {
+double RunEngine(size_t shards, size_t instances, uint64_t* events_out,
+                 obs::GuardProfiler* profiler = nullptr,
+                 engine::EngineMetricsSnapshot* snap_out = nullptr) {
   engine::EngineOptions opts;
   opts.shards = shards;
   opts.max_in_flight = 0;  // unbounded: preload everything
   opts.start_paused = true;
+  opts.profiler = profiler;
   engine::Engine eng(TravelEngineSpec(), opts);
   for (size_t i = 0; i < instances; ++i) {
     CDES_CHECK(eng.Submit(ScriptFor(i)).ok());
@@ -60,13 +66,16 @@ double RunEngine(size_t shards, size_t instances, uint64_t* events_out) {
   eng.Stop();
   engine::EngineMetricsSnapshot snap = eng.Metrics();
   CDES_CHECK(snap.instances_completed == instances);
-  if (events_out != nullptr) *events_out = snap.events;
-  return elapsed > 0 ? static_cast<double>(snap.events) / elapsed : 0;
+  uint64_t events = snap.events;
+  if (events_out != nullptr) *events_out = events;
+  if (snap_out != nullptr) *snap_out = std::move(snap);
+  return elapsed > 0 ? static_cast<double>(events) / elapsed : 0;
 }
 
 /// The headline table: 1000 instances at 1/2/4 shards, with the 4-vs-1
-/// speedup recorded in the exported metrics snapshot.
-void PrintEngineSummary() {
+/// speedup and the submit→complete latency percentiles recorded in the
+/// exported metrics snapshot (the cross-PR perf trajectory).
+void PrintEngineSummary(obs::GuardProfiler* profiler) {
   constexpr size_t kInstances = 1000;
   std::printf(
       "==== Engine shard scaling: %zu travel instances (§4.2 instance-local "
@@ -85,7 +94,8 @@ void PrintEngineSummary() {
   double base = 0;
   for (size_t shards : {1, 2, 4}) {
     uint64_t events = 0;
-    double rate = RunEngine(shards, kInstances, &events);
+    engine::EngineMetricsSnapshot snap;
+    double rate = RunEngine(shards, kInstances, &events, profiler, &snap);
     if (shards == 1) base = rate;
     double speedup = base > 0 ? rate / base : 0;
     std::printf("%-8zu %-12llu %-14.0f %.2fx\n", shards,
@@ -93,6 +103,22 @@ void PrintEngineSummary() {
     bench::BenchMetrics()
         .gauge(StrCat("engine.events_per_sec.shards", shards))
         ->Set(rate);
+    for (const engine::EngineMetricsSnapshot::HistogramSummary& h :
+         snap.histograms) {
+      if (h.name != "engine.latency_us" &&
+          h.name != "engine.admission_wait_us") {
+        continue;
+      }
+      bench::BenchMetrics()
+          .gauge(StrCat(h.name, ".p50.shards", shards))
+          ->Set(static_cast<double>(h.p50));
+      bench::BenchMetrics()
+          .gauge(StrCat(h.name, ".p99.shards", shards))
+          ->Set(static_cast<double>(h.p99));
+      bench::BenchMetrics()
+          .gauge(StrCat(h.name, ".mean.shards", shards))
+          ->Set(h.mean);
+    }
     if (shards == 4) {
       bench::BenchMetrics().gauge("engine.speedup.shards4_vs_1")->Set(speedup);
     }
@@ -167,9 +193,40 @@ BENCHMARK(BM_EngineSubmitStream)
 }  // namespace cdes
 
 int main(int argc, char** argv) {
+  // Strip --profile[=<collapsed-out>] before Google Benchmark sees (and
+  // rejects) it.
+  bool profile = false;
+  const char* profile_path = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--profile") {
+      profile = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile = true;
+      if (argv[i][10] != '\0') profile_path = argv[i] + 10;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
-  cdes::PrintEngineSummary();
+  cdes::obs::GuardProfiler profiler(/*sample_every=*/64);
+  cdes::PrintEngineSummary(profile ? &profiler : nullptr);
   benchmark::RunSpecifiedBenchmarks();
+  if (profile) {
+    std::printf("\n-- guard profile --\n%s", profiler.TopKReport(10).c_str());
+    if (profile_path != nullptr) {
+      std::string collapsed = profiler.CollapsedStacks();
+      std::FILE* f = std::fopen(profile_path, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", profile_path);
+        return 1;
+      }
+      std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+      std::fclose(f);
+      std::printf("profile: collapsed stacks -> %s\n", profile_path);
+    }
+  }
   cdes::bench::ExportBenchMetrics("engine");
   return 0;
 }

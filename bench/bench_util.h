@@ -8,7 +8,10 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/strings.h"
 #include "guards/context.h"
@@ -31,12 +34,35 @@ inline obs::MetricsRegistry& BenchMetrics() {
 /// Folds one driven run's stats into BenchMetrics().
 inline void RecordRunMetrics(const struct DriveResult& result);
 
-/// Writes BenchMetrics().ToJson() to BENCH_<name>.json in the working
-/// directory, so sweep tooling can diff runs without scraping console
-/// output. Returns the path it wrote (empty on failure).
+/// Schema of the BENCH_*.json envelope written by ExportBenchMetrics.
+/// Version 2 wraps the raw registry dump in
+/// {"schema_version", "host": {"hostname", "hardware_threads"}, "metrics"}
+/// so sweep tooling can tell runs from different machines apart (version 1
+/// was the bare registry JSON).
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// {"hostname": ..., "hardware_threads": ...} for the machine running the
+/// bench — the provenance fields every BENCH_*.json shares.
+inline std::string BenchHostJson() {
+  char hostname[256] = "unknown";
+  if (gethostname(hostname, sizeof(hostname)) != 0) {
+    std::snprintf(hostname, sizeof(hostname), "unknown");
+  }
+  hostname[sizeof(hostname) - 1] = '\0';
+  return StrCat("{\"hostname\": \"", hostname, "\", \"hardware_threads\": ",
+                std::thread::hardware_concurrency(), "}");
+}
+
+/// Writes the BENCH_<name>.json envelope (schema_version, host provenance,
+/// BenchMetrics() dump) in the working directory, so sweep tooling can diff
+/// runs without scraping console output. Returns the path it wrote (empty
+/// on failure).
 inline std::string ExportBenchMetrics(const std::string& name) {
   std::string path = StrCat("BENCH_", name, ".json");
-  std::string json = BenchMetrics().ToJson();
+  std::string json =
+      StrCat("{\"schema_version\": ", kBenchSchemaVersion,
+             ",\n \"host\": ", BenchHostJson(),
+             ",\n \"metrics\": ", BenchMetrics().ToJson(), "}");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());

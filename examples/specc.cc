@@ -11,7 +11,14 @@
 // machines, verification, automata baseline) are recorded as wall-clock
 // spans and written as Chrome-trace JSON (see docs/OBSERVABILITY.md).
 //
+// With --profile (or --profile=<file>), every per-(dependency, literal)
+// guard synthesis is profiled — wall time, residuation steps, interned
+// guard nodes — and a top-K hotspot table with file:line attribution is
+// printed after compilation. The =<file> form additionally writes
+// collapsed stacks for flamegraph.pl / speedscope.
+//
 // Usage:  ./build/examples/specc [file.wf] [--dot] [--trace=<file>]
+//                                [--profile[=<file>]]
 //         ./build/examples/specc examples/specs/travel.wf
 
 #include <chrono>
@@ -25,6 +32,7 @@
 #include "guards/verifier.h"
 #include "guards/workflow.h"
 #include "obs/chrome_trace.h"
+#include "obs/profiler.h"
 #include "obs/trace_recorder.h"
 #include "sched/automata_scheduler.h"
 #include "spec/parser.h"
@@ -50,13 +58,20 @@ int main(int argc, char** argv) {
 
   std::string text = kDefaultSpec;
   bool dot = false;
+  bool profile = false;
   const char* path = nullptr;
   const char* trace_path = nullptr;
+  const char* profile_path = nullptr;  // collapsed-stack output
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--dot") {
       dot = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::string_view(argv[i]) == "--profile") {
+      profile = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile = true;
+      if (argv[i][10] != '\0') profile_path = argv[i] + 10;
     } else {
       path = argv[i];
     }
@@ -81,6 +96,12 @@ int main(int argc, char** argv) {
     }
   };
   if (tracer != nullptr) tracer->NameProcess(0, "specc");
+
+  // Guard-synthesis profiling: compilation is one-shot, so sample every
+  // evaluation (sample_every = 1) — there is no hot path to protect.
+  obs::GuardProfiler profiler_storage(/*sample_every=*/1);
+  obs::GuardProfiler* profiler = profile ? &profiler_storage : nullptr;
+  if (profiler != nullptr && path != nullptr) profiler->set_source(path);
   if (path != nullptr) {
     std::ifstream in(path);
     if (!in) {
@@ -157,7 +178,9 @@ int main(int argc, char** argv) {
     std::printf("%s", FormatWorkflow(w, *ctx.alphabet()).c_str());
 
     uint64_t compile_start = now_us();
-    CompiledWorkflow compiled = CompileWorkflow(&ctx, w.spec);
+    CompileOptions copts;
+    copts.profiler = profiler;
+    CompiledWorkflow compiled = CompileWorkflow(&ctx, w.spec, copts);
     phase("synthesize guards", compile_start, {{"workflow", w.name}});
     std::printf("\n-- guards (event-centric, localized) --\n");
     for (SymbolId s : compiled.symbols()) {
@@ -211,6 +234,24 @@ int main(int argc, char** argv) {
           {{"workflow", w.name}, {"states", std::to_string(total_states)}});
     std::printf("  %zu automaton states, %zu transitions precompiled\n",
                 total_states, total_transitions);
+  }
+
+  if (profiler != nullptr) {
+    std::printf("\n-- guard synthesis profile --\n%s",
+                profiler->TopKReport(10).c_str());
+    if (profile_path != nullptr) {
+      std::string collapsed = profiler->CollapsedStacks();
+      std::FILE* f = std::fopen(profile_path, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", profile_path);
+        return 1;
+      }
+      std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+      std::fclose(f);
+      std::printf("profile: %zu sites -> %s (collapsed stacks; feed to "
+                  "flamegraph.pl or speedscope)\n",
+                  profiler->site_count(), profile_path);
+    }
   }
 
   return write_trace();

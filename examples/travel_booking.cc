@@ -9,7 +9,16 @@
 // With --trace=<file>, the run additionally records event-lifecycle spans,
 // protocol messages, and promise windows across all three phases and writes
 // a Chrome-trace JSON loadable in Perfetto (see docs/OBSERVABILITY.md).
+// Single-instance phases carry per-message flow arrows (send→assimilate);
+// engine mode carries submit→complete flow arrows across shard lanes.
+//
+// With --profile (or --profile=<collapsed-out>), guard evaluations are
+// attributed per (dependency, event) site and a top-K hotspot table is
+// printed; the =<file> form writes collapsed stacks for flamegraph.pl.
+// --telemetry=<file> (engine mode) streams JSONL snapshots consumable by
+// tools/cdes-top; --prom=<file> writes a Prometheus text-format snapshot.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +27,8 @@
 #include "engine/engine.h"
 #include "obs/chrome_trace.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/prom.h"
 #include "params/param_workflow.h"
 #include "sched/guard_scheduler.h"
 #include "spec/parser.h"
@@ -48,12 +59,37 @@ void PrintHistory(const cdes::GuardScheduler& sched,
               sched.HistoryConsistent() ? "yes" : "NO");
 }
 
+struct CliOptions {
+  const char* trace_path = nullptr;
+  bool profile = false;
+  const char* profile_path = nullptr;    // collapsed-stack output
+  const char* telemetry_path = nullptr;  // engine-mode JSONL stream
+  const char* prom_path = nullptr;       // Prometheus text snapshot
+};
+
+/// Prints the hotspot table and, when requested, writes collapsed stacks.
+int DumpProfile(const cdes::obs::GuardProfiler& profiler, const char* path) {
+  std::printf("\n-- guard profile --\n%s", profiler.TopKReport(10).c_str());
+  if (path == nullptr) return 0;
+  std::string collapsed = profiler.CollapsedStacks();
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+  std::fclose(f);
+  std::printf("profile: %zu sites -> %s (collapsed stacks)\n",
+              profiler.site_count(), path);
+  return 0;
+}
+
 // --engine=N mode: run N customer instances through the sharded
 // multi-instance engine (src/engine, docs/ENGINE.md) instead of the
 // narrative single-instance phases, and print the engine's metrics
 // snapshot. With --trace=<file> the exported timeline carries one span per
 // instance (rows grouped by shard).
-int RunEngineMode(size_t instances, size_t shards, const char* trace_path) {
+int RunEngineMode(size_t instances, size_t shards, const CliOptions& cli) {
   using namespace cdes;
   std::printf("== Engine: %zu customers", instances);
   if (shards > 0) std::printf(" across %zu shards", shards);
@@ -65,10 +101,22 @@ int RunEngineMode(size_t instances, size_t shards, const char* trace_path) {
     return 1;
   }
   obs::TraceRecorder recorder;
+  obs::GuardProfiler profiler(/*sample_every=*/16);
   engine::EngineOptions opts;
   opts.shards = shards;  // 0 = auto
-  if (trace_path != nullptr) opts.tracer = &recorder;
+  // Per-shard sched.* histograms, merged into the final snapshot at Stop.
+  opts.lifecycle_metrics = true;
+  if (cli.trace_path != nullptr) opts.tracer = &recorder;
+  if (cli.profile) opts.profiler = &profiler;
   engine::Engine eng(spec.value(), opts);
+  if (cli.telemetry_path != nullptr) {
+    Status started = eng.StartTelemetryFile(std::chrono::milliseconds(50),
+                                            cli.telemetry_path);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
   for (size_t i = 0; i < instances; ++i) {
     engine::InstanceScript script;
     script.tag = i;
@@ -89,15 +137,32 @@ int RunEngineMode(size_t instances, size_t shards, const char* trace_path) {
   std::printf("%s", snap.ToString().c_str());
   std::printf("  consistent maximal traces: %zu / %zu\n", consistent,
               instances);
+  if (cli.telemetry_path != nullptr) {
+    std::printf("telemetry: JSONL -> %s (view with cdes-top)\n",
+                cli.telemetry_path);
+  }
+  if (cli.profile && DumpProfile(profiler, cli.profile_path) != 0) return 1;
+  if (cli.prom_path != nullptr) {
+    obs::MetricsRegistry prom_registry;
+    eng.MergeMetricsInto(&prom_registry);
+    snap.PublishTo(&prom_registry);
+    Status written =
+        obs::WritePrometheusFile(prom_registry, cli.prom_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("prometheus: snapshot -> %s\n", cli.prom_path);
+  }
 
-  if (trace_path != nullptr) {
-    Status written = obs::WriteChromeTrace(recorder, trace_path);
+  if (cli.trace_path != nullptr) {
+    Status written = obs::WriteChromeTrace(recorder, cli.trace_path);
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
       return 1;
     }
     std::printf("trace: %zu events -> %s (load in ui.perfetto.dev)\n",
-                recorder.events().size(), trace_path);
+                recorder.events().size(), cli.trace_path);
   }
   return consistent == instances ? 0 : 1;
 }
@@ -107,33 +172,47 @@ int RunEngineMode(size_t instances, size_t shards, const char* trace_path) {
 int main(int argc, char** argv) {
   using namespace cdes;
 
-  const char* trace_path = nullptr;
+  CliOptions cli;
   size_t engine_instances = 0;
   size_t engine_shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_path = argv[i] + 8;
+      cli.trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       engine_instances = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       engine_shards = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+    } else if (std::string_view(argv[i]) == "--profile") {
+      cli.profile = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      cli.profile = true;
+      if (argv[i][10] != '\0') cli.profile_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      cli.telemetry_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--prom=", 7) == 0) {
+      cli.prom_path = argv[i] + 7;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace=<file>] [--engine=<instances> "
-                   "[--shards=<k>]]\n",
+                   "usage: %s [--trace=<file>] [--profile[=<file>]] "
+                   "[--prom=<file>] [--engine=<instances> [--shards=<k>] "
+                   "[--telemetry=<file>]]\n",
                    argv[0]);
       return 2;
     }
   }
   if (engine_instances > 0) {
-    return RunEngineMode(engine_instances, engine_shards, trace_path);
+    return RunEngineMode(engine_instances, engine_shards, cli);
   }
+  const char* trace_path = cli.trace_path;
   // One recorder + registry shared by all three phases: the exported
   // timeline shows them back to back (each phase restarts SimTime at 0).
   obs::TraceRecorder recorder;
   obs::MetricsRegistry metrics;
+  obs::GuardProfiler profiler(/*sample_every=*/1);
   obs::TraceRecorder* tracer = trace_path != nullptr ? &recorder : nullptr;
-  obs::MetricsRegistry* reg = trace_path != nullptr ? &metrics : nullptr;
+  obs::MetricsRegistry* reg =
+      trace_path != nullptr || cli.prom_path != nullptr ? &metrics : nullptr;
+  obs::GuardProfiler* prof = cli.profile ? &profiler : nullptr;
 
   // ---------------------------------------------------------- Happy path
   {
@@ -157,6 +236,7 @@ int main(int argc, char** argv) {
     GuardSchedulerOptions sopts;
     sopts.tracer = tracer;
     sopts.metrics = reg;
+    sopts.profiler = prof;
     GuardScheduler sched(&ctx, parsed.value(), &net, sopts);
 
     TaskAgent buy(TaskModel::RdaTransaction("buy"), &ctx, &sched);
@@ -202,6 +282,7 @@ int main(int argc, char** argv) {
     GuardSchedulerOptions sopts;
     sopts.tracer = tracer;
     sopts.metrics = reg;
+    sopts.profiler = prof;
     GuardScheduler sched(&ctx, parsed.value(), &net, sopts);
 
     auto attempt = [&](const char* name) {
@@ -246,6 +327,7 @@ int main(int argc, char** argv) {
     GuardSchedulerOptions sopts;
     sopts.tracer = tracer;
     sopts.metrics = reg;
+    sopts.profiler = prof;
     GuardScheduler sched(&ctx, parsed.value(), &net, sopts);
 
     auto attempt = [&](const char* name) {
@@ -292,6 +374,7 @@ int main(int argc, char** argv) {
     GuardSchedulerOptions sopts;
     sopts.tracer = tracer;
     sopts.metrics = reg;
+    sopts.profiler = prof;
     GuardScheduler sched(&ctx, combined, &net, sopts);
 
     auto attempt = [&](const char* name) {
@@ -310,6 +393,15 @@ int main(int argc, char** argv) {
     obs::UnregisterGlobalSimulator(&sim);
   }
 
+  if (prof != nullptr && DumpProfile(*prof, cli.profile_path) != 0) return 1;
+  if (cli.prom_path != nullptr) {
+    Status written = obs::WritePrometheusFile(metrics, cli.prom_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("prometheus: snapshot -> %s\n", cli.prom_path);
+  }
   if (trace_path != nullptr) {
     Status written = obs::WriteChromeTrace(recorder, trace_path);
     if (!written.ok()) {

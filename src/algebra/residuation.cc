@@ -66,6 +66,7 @@ const Expr* Residuator::NormalForm(const Expr* e) {
 }
 
 const Expr* Residuator::Residuate(const Expr* e, EventLiteral x) {
+  ++residuate_calls_;
   return ResiduateNormal(NormalForm(e), x);
 }
 

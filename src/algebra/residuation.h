@@ -45,6 +45,12 @@ class Residuator {
   ///   (e'·E)/x = 0 when x̄ ∈ Γ of the sequence              (rule 8)
   const Expr* Residuate(const Expr* e, EventLiteral x);
 
+  /// Number of Residuate calls made so far (memoized hits included). The
+  /// guard profiler reads deltas of this to attribute residuation work to
+  /// guard sites; one unconditional increment is noise next to the memo
+  /// lookup each call already performs.
+  uint64_t residuate_calls() const { return residuate_calls_; }
+
   /// Residuates by every event of `u` in order: ((E/u1)/u2)/.../un.
   const Expr* ResiduateTrace(const Expr* e, const Trace& u);
 
@@ -54,6 +60,7 @@ class Residuator {
   const Expr* ResiduateNormal(const Expr* e, EventLiteral x);
 
   ExprArena* arena_;
+  uint64_t residuate_calls_ = 0;
   std::unordered_map<const Expr*, const Expr*> normal_cache_;
   std::map<std::pair<const Expr*, EventLiteral>, const Expr*> resid_cache_;
 };

@@ -1,9 +1,11 @@
 #include "engine/engine.h"
 
+#include <cstdio>
 #include <thread>
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/json.h"
 #include "runtime/event_log.h"
 
 namespace cdes::engine {
@@ -12,6 +14,12 @@ namespace {
 size_t AutoShards() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw >= 2 ? hw / 2 : 1;
+}
+
+std::string JsonDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
 }
 
 }  // namespace
@@ -30,6 +38,14 @@ void EngineMetricsSnapshot::PublishTo(obs::MetricsRegistry* registry) const {
   registry->gauge("engine.sim_steps")->Set(static_cast<double>(sim_steps));
   registry->gauge("engine.wall_seconds")->Set(wall_seconds);
   registry->gauge("engine.events_per_sec")->Set(events_per_sec);
+  for (const HistogramSummary& h : histograms) {
+    registry->gauge(StrCat(h.name, ".count"))
+        ->Set(static_cast<double>(h.count));
+    registry->gauge(StrCat(h.name, ".mean"))->Set(h.mean);
+    registry->gauge(StrCat(h.name, ".p50"))->Set(static_cast<double>(h.p50));
+    registry->gauge(StrCat(h.name, ".p99"))->Set(static_cast<double>(h.p99));
+    registry->gauge(StrCat(h.name, ".max"))->Set(static_cast<double>(h.max));
+  }
   for (size_t k = 0; k < shards; ++k) {
     registry->gauge(StrCat("engine.shard", k, ".queue_depth"))
         ->Set(static_cast<double>(shard_queue_depth[k]));
@@ -54,6 +70,58 @@ std::string EngineMetricsSnapshot::ToString() const {
                   shard_events[k], " events, queue=", shard_queue_depth[k],
                   " resident=", shard_resident[k], "\n");
   }
+  for (const HistogramSummary& h : histograms) {
+    out += StrCat("  ", h.name, ": count=", h.count,
+                  " mean=", JsonDouble(h.mean), " p50=", h.p50,
+                  " p99=", h.p99, " max=", h.max, "\n");
+  }
+  return out;
+}
+
+std::string EngineMetricsSnapshot::ToJsonLine(
+    uint64_t ts_us, const obs::GuardProfiler* profiler) const {
+  std::string out = StrCat(
+      "{\"schema_version\": 2, \"ts_us\": ", ts_us, ", \"shards\": ", shards,
+      ", \"submitted\": ", instances_submitted,
+      ", \"completed\": ", instances_completed,
+      ", \"rejected\": ", instances_rejected,
+      ", \"in_flight\": ", instances_in_flight, ", \"events\": ", events,
+      ", \"sim_steps\": ", sim_steps,
+      ", \"wall_seconds\": ", JsonDouble(wall_seconds),
+      ", \"events_per_sec\": ", JsonDouble(events_per_sec));
+  auto array = [&out](const char* key, const auto& values) {
+    out += StrCat(", \"", key, "\": [");
+    for (size_t k = 0; k < values.size(); ++k) {
+      out += StrCat(k == 0 ? "" : ", ", values[k]);
+    }
+    out += "]";
+  };
+  array("shard_queue_depth", shard_queue_depth);
+  array("shard_resident", shard_resident);
+  array("shard_events", shard_events);
+  array("shard_instances", shard_instances);
+  out += ", \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSummary& h = histograms[i];
+    out += StrCat(i == 0 ? "" : ", ", "\"", obs::JsonEscape(h.name),
+                  "\": {\"count\": ", h.count,
+                  ", \"mean\": ", JsonDouble(h.mean), ", \"p50\": ", h.p50,
+                  ", \"p99\": ", h.p99, ", \"max\": ", h.max, "}");
+  }
+  out += "}";
+  if (profiler != nullptr) {
+    out += ", \"hot_guards\": [";
+    std::vector<obs::GuardSiteStats> top = profiler->TopK(5);
+    for (size_t i = 0; i < top.size(); ++i) {
+      out += StrCat(i == 0 ? "" : ", ", "{\"site\": \"",
+                    obs::JsonEscape(top[i].Label()),
+                    "\", \"evaluations\": ", top[i].evaluations,
+                    ", \"wall_ns\": ", top[i].EstimatedWallNs(),
+                    ", \"steps\": ", top[i].residuation_steps, "}");
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
@@ -80,6 +148,8 @@ Engine::Engine(EngineSpecRef spec, const EngineOptions& options)
     sopts.durable_logs = options_.durable_logs;
     sopts.start_paused = options_.start_paused;
     sopts.epoch = epoch_;
+    sopts.profiler = options_.profiler;
+    sopts.lifecycle_metrics = options_.lifecycle_metrics;
     shards_.push_back(std::make_unique<Shard>(spec_, sopts, manager_.get()));
   }
   for (auto& shard : shards_) shard->Start();
@@ -104,6 +174,7 @@ Result<uint64_t> Engine::TrySubmit(InstanceScript script) {
 
 Result<uint64_t> Engine::SubmitInternal(InstanceScript script, bool block) {
   CDES_CHECK(!stopped_) << "Submit after Stop";
+  uint64_t entered_at_us = NowUs();
   Result<uint64_t> id = manager_->Admit(block);
   if (!id.ok()) return id;
   EngineCommand cmd;
@@ -111,6 +182,8 @@ Result<uint64_t> Engine::SubmitInternal(InstanceScript script, bool block) {
   cmd.id = id.value();
   cmd.script = std::move(script);
   cmd.submitted_at_us = NowUs();
+  manager_->RecordSubmit(id.value(), cmd.submitted_at_us,
+                         cmd.submitted_at_us - entered_at_us);
   shards_[manager_->ShardFor(id.value())]->Push(std::move(cmd));
   return id;
 }
@@ -122,6 +195,7 @@ Status Engine::Recover(const std::vector<std::string>& logs) {
     // restarts, so the log lands on the shard index that owned it.
     Result<uint64_t> id = EventLog::PeekInstance(text);
     if (!id.ok()) return id.status();
+    uint64_t entered_at_us = NowUs();
     Status admitted = manager_->AdmitRecovered(id.value());
     if (!admitted.ok()) return admitted;
     EngineCommand cmd;
@@ -129,6 +203,8 @@ Status Engine::Recover(const std::vector<std::string>& logs) {
     cmd.id = id.value();
     cmd.log_text = text;
     cmd.submitted_at_us = NowUs();
+    manager_->RecordSubmit(id.value(), cmd.submitted_at_us,
+                           cmd.submitted_at_us - entered_at_us);
     shards_[manager_->ShardFor(id.value())]->Push(std::move(cmd));
   }
   return Status::OK();
@@ -147,6 +223,16 @@ void Engine::Stop() {
   if (stopped_) return;
   stopped_ = true;
   Resume();
+  // Park the telemetry publisher before the shards go away; its final
+  // line is emitted below, after the per-shard registries are mergeable.
+  if (telemetry_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(telemetry_mu_);
+      telemetry_stop_ = true;
+    }
+    telemetry_cv_.notify_all();
+    telemetry_thread_.join();
+  }
   for (auto& shard : shards_) {
     EngineCommand cmd;
     cmd.kind = EngineCommand::Kind::kStop;
@@ -154,6 +240,7 @@ void Engine::Stop() {
   }
   for (auto& shard : shards_) shard->Join();
   stopped_at_us_ = NowUs();
+  if (telemetry_sink_) EmitTelemetryLine();
 }
 
 EngineMetricsSnapshot Engine::Metrics() const {
@@ -176,11 +263,71 @@ EngineMetricsSnapshot Engine::Metrics() const {
   snap.events_per_sec = snap.wall_seconds > 0
                             ? static_cast<double>(snap.events) / snap.wall_seconds
                             : 0;
+  obs::MetricsRegistry merged;
+  MergeMetricsInto(&merged);
+  for (const auto& [name, h] : merged.histograms()) {
+    EngineMetricsSnapshot::HistogramSummary summary;
+    summary.name = name;
+    summary.count = h->count();
+    summary.mean = h->Mean();
+    summary.p50 = h->Percentile(0.5);
+    summary.p99 = h->Percentile(0.99);
+    summary.max = h->max();
+    snap.histograms.push_back(std::move(summary));
+  }
   return snap;
+}
+
+void Engine::MergeMetricsInto(obs::MetricsRegistry* out) const {
+  manager_->MergeMetricsInto(out);
+  if (!stopped_) return;  // shard registries are worker-confined until then
+  for (const auto& shard : shards_) out->MergeFrom(shard->metrics());
 }
 
 std::vector<InstanceResult> Engine::TakeResults() {
   return manager_->TakeResults();
+}
+
+void Engine::StartTelemetry(std::chrono::milliseconds interval,
+                            TelemetrySink sink) {
+  CDES_CHECK(!stopped_) << "StartTelemetry after Stop";
+  if (telemetry_thread_.joinable()) return;  // one publisher per engine
+  telemetry_sink_ = std::move(sink);
+  telemetry_thread_ =
+      std::thread([this, interval] { TelemetryMain(interval); });
+}
+
+Status Engine::StartTelemetryFile(std::chrono::milliseconds interval,
+                                  const std::string& path) {
+  std::shared_ptr<std::FILE> f(std::fopen(path.c_str(), "w"), [](std::FILE* p) {
+    if (p != nullptr) std::fclose(p);
+  });
+  if (f == nullptr) {
+    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
+  }
+  StartTelemetry(interval, [f](const std::string& line) {
+    std::fwrite(line.data(), 1, line.size(), f.get());
+    std::fputc('\n', f.get());
+    std::fflush(f.get());  // tailers see whole lines promptly
+  });
+  return Status::OK();
+}
+
+void Engine::TelemetryMain(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(telemetry_mu_);
+  while (!telemetry_stop_) {
+    if (telemetry_cv_.wait_for(lock, interval,
+                               [this] { return telemetry_stop_; })) {
+      break;  // Stop() emits the final line once the shards have joined
+    }
+    lock.unlock();
+    EmitTelemetryLine();
+    lock.lock();
+  }
+}
+
+void Engine::EmitTelemetryLine() {
+  telemetry_sink_(Metrics().ToJsonLine(NowUs(), options_.profiler));
 }
 
 }  // namespace cdes::engine

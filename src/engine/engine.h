@@ -3,14 +3,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine_spec.h"
 #include "engine/instance.h"
 #include "engine/shard.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 
 namespace cdes::engine {
 
@@ -44,10 +49,21 @@ struct EngineOptions {
   /// Resume(). Deterministic admission tests; bench preloading.
   bool start_paused = false;
   /// When set, one Complete span per instance ("instance <id>", tid =
-  /// instance id, pid = shard index, wall-clock microseconds) is recorded.
-  /// Calls are serialized by the instance manager, so an ordinary
-  /// TraceRecorder is safe despite the multi-threaded engine.
+  /// instance id, pid = shard index, wall-clock microseconds) is recorded,
+  /// plus a "submit <id>" span on the engine lane and a flow arrow linking
+  /// the two across threads. Calls are serialized by the instance manager,
+  /// so an ordinary TraceRecorder is safe despite the multi-threaded
+  /// engine.
   obs::TraceRecorder* tracer = nullptr;
+  /// When set, every shard's resident schedulers attribute guard
+  /// evaluations to it. GuardProfiler is internally thread-safe (atomic
+  /// record path), so one profiler shared by all shards is the intended
+  /// shape.
+  obs::GuardProfiler* profiler = nullptr;
+  /// Turn on per-instance lifecycle histograms in the shard registries
+  /// (sched.decision_latency_us, sched.guard_reduction_steps, ...). Off by
+  /// default: the engine hot path skips that instrumentation.
+  bool lifecycle_metrics = false;
 };
 
 /// Point-in-time view of the engine's counters, safe to take while the
@@ -72,13 +88,36 @@ struct EngineMetricsSnapshot {
   std::vector<uint64_t> shard_events;
   std::vector<uint64_t> shard_instances;
 
+  /// Percentile digest of one histogram visible to the snapshot: always
+  /// engine.latency_us and engine.admission_wait_us; after Stop() also the
+  /// per-shard registries merged across shards (net.latency_us, and the
+  /// sched.* lifecycle histograms when EngineOptions::lifecycle_metrics).
+  struct HistogramSummary {
+    std::string name;
+    uint64_t count = 0;
+    double mean = 0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+  };
+  std::vector<HistogramSummary> histograms;
+
   /// Publishes the snapshot as "engine.*" gauges (plus per-shard
-  /// "engine.shard<k>.*") into `registry`, alongside whatever "sched.*" /
-  /// "net.*" metrics the caller already collects there. Call from the
-  /// thread that owns the registry.
+  /// "engine.shard<k>.*" and "<histogram>.p50/.p99/.mean/.count" percentile
+  /// gauges) into `registry`, alongside whatever "sched.*" / "net.*"
+  /// metrics the caller already collects there. Call from the thread that
+  /// owns the registry.
   void PublishTo(obs::MetricsRegistry* registry) const;
-  /// Multi-line human-readable rendering (examples, operator dumps).
+  /// Multi-line human-readable rendering (examples, operator dumps),
+  /// including the latency-histogram percentile lines.
   std::string ToString() const;
+  /// One JSONL telemetry record (no trailing newline):
+  /// {"schema_version": 2, "ts_us": ..., engine counters, per-shard
+  /// arrays, "histograms": {name: {count,mean,p50,p99,max}}, and — when
+  /// `profiler` is non-null — "hot_guards": top guard-profiler sites}.
+  /// This is the line format StartTelemetry sinks and tools/cdes-top tails.
+  std::string ToJsonLine(uint64_t ts_us,
+                         const obs::GuardProfiler* profiler = nullptr) const;
 };
 
 /// The multi-instance workflow engine: compiles a spec once per shard and
@@ -128,6 +167,26 @@ class Engine {
   /// completion order.
   std::vector<InstanceResult> TakeResults();
 
+  /// Folds every engine-owned registry into `out`: the manager's latency
+  /// histograms always (safe mid-run), and the per-shard registries
+  /// ("sched.*", "net.*") once the engine is stopped (they are
+  /// worker-thread-confined while shards run). Feed the result to
+  /// obs::PrometheusText for a scrape snapshot.
+  void MergeMetricsInto(obs::MetricsRegistry* out) const;
+
+  /// A line-oriented telemetry consumer; called from the telemetry thread
+  /// with one EngineMetricsSnapshot::ToJsonLine record (no newline).
+  using TelemetrySink = std::function<void(const std::string& line)>;
+  /// Starts a background publisher emitting one snapshot line per
+  /// `interval` until Stop(), which flushes one final line before
+  /// returning. One publisher per engine; later calls replace nothing and
+  /// are ignored.
+  void StartTelemetry(std::chrono::milliseconds interval, TelemetrySink sink);
+  /// StartTelemetry writing JSONL to `path` (the stream tools/cdes-top
+  /// tails), flushed after every line.
+  Status StartTelemetryFile(std::chrono::milliseconds interval,
+                            const std::string& path);
+
   size_t shard_count() const { return shards_.size(); }
   const EngineSpec& spec() const { return *spec_; }
   /// A stopped shard's private registry ("sched.*", "net.*" across its
@@ -139,6 +198,8 @@ class Engine {
  private:
   Result<uint64_t> SubmitInternal(InstanceScript script, bool block);
   uint64_t NowUs() const;
+  void TelemetryMain(std::chrono::milliseconds interval);
+  void EmitTelemetryLine();
 
   EngineSpecRef spec_;
   EngineOptions options_;
@@ -149,6 +210,13 @@ class Engine {
   /// Wall time frozen at Stop() so post-run Metrics() report the run's
   /// throughput, not decaying averages.
   uint64_t stopped_at_us_ = 0;
+
+  // ---- Telemetry publisher ----
+  std::thread telemetry_thread_;
+  std::mutex telemetry_mu_;
+  std::condition_variable telemetry_cv_;
+  bool telemetry_stop_ = false;
+  TelemetrySink telemetry_sink_;
 };
 
 }  // namespace cdes::engine

@@ -8,6 +8,30 @@ InstanceManager::InstanceManager(size_t shards, size_t max_in_flight,
                                  obs::TraceRecorder* tracer)
     : shards_(shards), max_in_flight_(max_in_flight), tracer_(tracer) {
   CDES_CHECK(shards_ > 0);
+  latency_ = metrics_.histogram("engine.latency_us");
+  admission_wait_ = metrics_.histogram("engine.admission_wait_us");
+  if (tracer_ != nullptr) {
+    tracer_->NameProcess(kEngineTracePid, "engine");
+    for (size_t k = 0; k < shards_; ++k) {
+      tracer_->NameProcess(static_cast<int>(k), StrCat("shard ", k));
+    }
+  }
+}
+
+void InstanceManager::RecordSubmit(uint64_t id, uint64_t submitted_at_us,
+                                   uint64_t wait_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admission_wait_->Observe(wait_us);
+  if (tracer_ != nullptr) {
+    tracer_->Complete(obs::SpanCategory::kSim, StrCat("submit ", id),
+                      submitted_at_us - wait_us, wait_us, kEngineTracePid, 0,
+                      {{"wait_us", StrCat(wait_us)}});
+    // Flow origin on the engine lane; the matching FlowEnd fires inside the
+    // completion span on the owning shard's lane, so viewers draw a
+    // submit→complete arrow across threads.
+    tracer_->FlowStart(obs::SpanCategory::kSim, "instance", id,
+                       submitted_at_us, kEngineTracePid, 0);
+  }
 }
 
 Result<uint64_t> InstanceManager::Admit(bool block) {
@@ -56,16 +80,22 @@ void InstanceManager::Complete(InstanceResult result, uint64_t submitted_at_us,
   std::lock_guard<std::mutex> lock(mu_);
   ++completed_;
   events_total_ += result.events;
+  uint64_t dur = completed_at_us > submitted_at_us
+                     ? completed_at_us - submitted_at_us
+                     : 0;
+  latency_->Observe(dur);
   if (tracer_ != nullptr) {
-    uint64_t dur = completed_at_us > submitted_at_us
-                       ? completed_at_us - submitted_at_us
-                       : 0;
     tracer_->Complete(obs::SpanCategory::kSim,
                       StrCat("instance ", result.id), submitted_at_us, dur,
                       static_cast<int>(result.shard), result.id,
                       {{"tag", StrCat(result.tag)},
                        {"events", StrCat(result.events)},
                        {"consistent", result.consistent ? "true" : "false"}});
+    // Terminate the submit→complete flow inside the instance span ("bp":"e"
+    // in the export binds the arrow head to the enclosing slice).
+    tracer_->FlowEnd(obs::SpanCategory::kSim, "instance", result.id,
+                     completed_at_us, static_cast<int>(result.shard),
+                     result.id);
   }
   results_.push_back(std::move(result));
   capacity_cv_.notify_one();
@@ -95,6 +125,11 @@ uint64_t InstanceManager::in_flight() const {
 uint64_t InstanceManager::events_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_total_;
+}
+
+void InstanceManager::MergeMetricsInto(obs::MetricsRegistry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->MergeFrom(metrics_);
 }
 
 std::vector<InstanceResult> InstanceManager::TakeResults() {

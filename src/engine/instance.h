@@ -13,6 +13,11 @@
 
 namespace cdes::engine {
 
+/// Chrome-trace "process" id for engine-level spans (submit spans, flow
+/// origins). Far above any shard index or simulated-site id, so the engine
+/// lane never collides with per-shard / per-site lanes in the same trace.
+inline constexpr int kEngineTracePid = 1 << 20;
+
 /// What one workflow instance should do: a sequence of event-literal names
 /// attempted in order (each run to quiescence inside the instance's own
 /// simulated world), optionally followed by closure to a maximal trace.
@@ -101,10 +106,20 @@ class InstanceManager {
   /// Blocks until every admitted instance has completed.
   void Drain();
 
+  /// Records one admitted submission: observes `wait_us` in the
+  /// engine.admission_wait_us histogram and, when tracing, emits a
+  /// "submit <id>" span on the engine lane (pid kEngineTracePid, dur =
+  /// admission wait) plus the FlowStart("instance", id) arrow origin that
+  /// Complete() terminates on the owning shard's lane. Serialized under
+  /// the manager mutex like every other tracer call here.
+  void RecordSubmit(uint64_t id, uint64_t submitted_at_us, uint64_t wait_us);
+
   // ---- Shard side ----
   /// Reports a finished instance: stores the result, releases its
   /// admission slot, and wakes Submit/Drain waiters. `submitted_at_us` is
   /// the wall-clock submit time (engine epoch) for the instance span.
+  /// Observes submit→complete latency in engine.latency_us and closes the
+  /// instance flow arrow at the completion span.
   void Complete(InstanceResult result, uint64_t submitted_at_us,
                 uint64_t completed_at_us);
 
@@ -116,6 +131,12 @@ class InstanceManager {
   uint64_t events_total() const;
   /// Moves the accumulated results out (ordered by completion).
   std::vector<InstanceResult> TakeResults();
+
+  /// Folds the manager's private registry (engine.latency_us,
+  /// engine.admission_wait_us) into `out` under the manager mutex — safe
+  /// while the engine runs, which is what lets live telemetry snapshots
+  /// report latency percentiles mid-run.
+  void MergeMetricsInto(obs::MetricsRegistry* out) const;
 
  private:
   const size_t shards_;
@@ -131,6 +152,10 @@ class InstanceManager {
   uint64_t rejected_ = 0;
   uint64_t events_total_ = 0;
   std::vector<InstanceResult> results_;
+  /// Engine-level latency histograms, guarded by mu_ like everything else.
+  obs::MetricsRegistry metrics_;
+  obs::Histogram* latency_ = nullptr;
+  obs::Histogram* admission_wait_ = nullptr;
 };
 
 }  // namespace cdes::engine

@@ -139,7 +139,11 @@ std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
   sopts.auto_trigger = options_.auto_trigger;
   sopts.simplify_guards = options_.simplify_guards;
   sopts.metrics = &metrics_;
-  sopts.lifecycle_instrumentation = false;
+  sopts.lifecycle_instrumentation = options_.lifecycle_metrics;
+  sopts.profiler = options_.profiler;
+  // Flow / trace correlation: messages inside this instance's world carry
+  // the instance id as their trace id.
+  sopts.trace_id = cmd.id;
   if (options_.durable_logs) {
     r->log = std::make_unique<EventLog>();
     r->log->set_instance(cmd.id);

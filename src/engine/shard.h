@@ -54,6 +54,11 @@ struct ShardOptions {
   size_t max_close_rounds = 16;
   /// Wall-clock epoch for instance-span timestamps.
   std::chrono::steady_clock::time_point epoch{};
+  /// Shared guard profiler every resident scheduler attributes to
+  /// (thread-safe; one profiler serves all shards). Null = off.
+  obs::GuardProfiler* profiler = nullptr;
+  /// Enable the per-instance sched.* lifecycle histograms.
+  bool lifecycle_metrics = false;
 };
 
 /// One worker: a thread owning an MPSC mailbox of EngineCommands and a set

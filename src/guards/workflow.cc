@@ -2,6 +2,7 @@
 
 #include "algebra/residuation.h"
 #include "algebra/semantics.h"
+#include "obs/profiler.h"
 #include "temporal/guard_semantics.h"
 #include "temporal/simplify.h"
 
@@ -69,9 +70,27 @@ CompiledWorkflow CompileWorkflow(WorkflowContext* ctx,
         if (!dep_symbols.count(s)) continue;
         bool simplify = options.simplify &&
                         dep_symbols.size() <= options.max_simplify_symbols;
+        obs::GuardProfiler::Site* site = nullptr;
+        bool sampled = false;
+        uint64_t t0 = 0, steps0 = 0;
+        size_t nodes0 = 0;
+        if (options.profiler != nullptr) {
+          site = options.profiler->RegisterSite(
+              dep.name, ctx->alphabet()->LiteralName(l), dep.loc);
+          sampled = options.profiler->BeginEvaluation(site);
+          steps0 = ctx->residuator()->residuate_calls();
+          nodes0 = ctx->guards()->node_count();
+          if (sampled) t0 = obs::ProfilerNowNs();
+        }
         const Guard* g =
             simplify ? ctx->synthesizer()->SynthesizeSimplified(dep.expr, l)
                      : ctx->synthesizer()->Synthesize(dep.expr, l);
+        if (site != nullptr) {
+          options.profiler->Record(
+              site, ctx->residuator()->residuate_calls() - steps0,
+              ctx->guards()->node_count() - nodes0,
+              sampled ? obs::ProfilerNowNs() - t0 : 0, sampled);
+        }
         out.contributions_[l].emplace_back(di, g);
         conj.push_back(g);
       }

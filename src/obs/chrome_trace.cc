@@ -20,6 +20,10 @@ const char* PhaseCode(TraceEvent::Phase phase) {
       return "b";
     case TraceEvent::Phase::kAsyncEnd:
       return "e";
+    case TraceEvent::Phase::kFlowStart:
+      return "s";
+    case TraceEvent::Phase::kFlowEnd:
+      return "f";
   }
   return "i";
 }
@@ -65,8 +69,15 @@ std::string ChromeTraceJson(const TraceRecorder& recorder) {
       out += StrCat(", \"dur\": ", event.dur);
     }
     if (event.phase == TraceEvent::Phase::kAsyncBegin ||
-        event.phase == TraceEvent::Phase::kAsyncEnd) {
+        event.phase == TraceEvent::Phase::kAsyncEnd ||
+        event.phase == TraceEvent::Phase::kFlowStart ||
+        event.phase == TraceEvent::Phase::kFlowEnd) {
       out += StrCat(", \"id\": ", event.id);
+    }
+    if (event.phase == TraceEvent::Phase::kFlowEnd) {
+      // Bind the arrow head to the enclosing slice at these coordinates
+      // rather than to the next slice that happens to start.
+      out += ", \"bp\": \"e\"";
     }
     if (event.phase == TraceEvent::Phase::kInstant) {
       out += ", \"s\": \"t\"";

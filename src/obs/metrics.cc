@@ -39,6 +39,34 @@ uint64_t Histogram::Percentile(double p) const {
   return max_;
 }
 
+bool Histogram::MergeFrom(const Histogram& other) {
+  if (bounds_ != other.bounds_) return false;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  return true;
+}
+
+size_t MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name)->Increment(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name)->Set(g->value());
+  }
+  size_t mismatched = 0;
+  for (const auto& [name, h] : other.histograms_) {
+    if (!histogram(name, h->bounds())->MergeFrom(*h)) ++mismatched;
+  }
+  return mismatched;
+}
+
 Counter* MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

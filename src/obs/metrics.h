@@ -60,6 +60,12 @@ class Histogram {
   /// Approximate percentile (p in [0,1]) from the bucket upper bounds.
   uint64_t Percentile(double p) const;
 
+  /// Adds `other`'s samples into this histogram (bucket-wise; count, sum,
+  /// min, max combine exactly). Returns false and does nothing when the
+  /// bucket bounds differ — merging is meant for same-shaped histograms,
+  /// e.g. one metric collected per engine shard.
+  bool MergeFrom(const Histogram& other);
+
   const std::string& name() const { return name_; }
   /// Inclusive upper bounds; buckets() has bounds().size() + 1 entries.
   const std::vector<uint64_t>& bounds() const { return bounds_; }
@@ -104,6 +110,13 @@ class MetricsRegistry {
                                                  size_t count = 24);
   static const std::vector<uint64_t>& DefaultBounds();
 
+  /// Folds `other` into this registry: counters add, gauges take `other`'s
+  /// value, histograms merge bucket-wise (created here with `other`'s
+  /// bounds when absent; bound-mismatched histograms are skipped and
+  /// counted in the return value). Used to aggregate per-shard registries
+  /// into one engine-level snapshot.
+  size_t MergeFrom(const MetricsRegistry& other);
+
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count,sum,min,max,mean,p50,p99,buckets}}}.
   /// Keys are sorted; output is deterministic.
@@ -114,6 +127,14 @@ class MetricsRegistry {
   const std::map<std::string, std::unique_ptr<Counter>, std::less<>>&
   counters() const {
     return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>, std::less<>>& gauges()
+      const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>, std::less<>>&
+  histograms() const {
+    return histograms_;
   }
 
  private:

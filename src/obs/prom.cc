@@ -1,0 +1,78 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace cdes::obs {
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; registry names use
+/// dots ("sched.msgs.announce"). Everything outside the charset becomes '_'.
+std::string SanitizeName(std::string_view prefix, std::string_view name) {
+  std::string out(prefix);
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':' || (std::isdigit(static_cast<unsigned char>(c)) &&
+                           !(out.empty() && i == 0));
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry,
+                           std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    std::string prom = SanitizeName(prefix, name);
+    out += StrCat("# TYPE ", prom, " counter\n", prom, " ", c->value(), "\n");
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    std::string prom = SanitizeName(prefix, name);
+    out += StrCat("# TYPE ", prom, " gauge\n", prom, " ",
+                  FormatDouble(g->value()), "\n");
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    std::string prom = SanitizeName(prefix, name);
+    out += StrCat("# TYPE ", prom, " histogram\n");
+    // Registry buckets are disjoint; Prometheus buckets are cumulative.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->buckets()[i];
+      out += StrCat(prom, "_bucket{le=\"", h->bounds()[i], "\"} ", cumulative,
+                    "\n");
+    }
+    cumulative += h->buckets().back();
+    out += StrCat(prom, "_bucket{le=\"+Inf\"} ", cumulative, "\n");
+    out += StrCat(prom, "_sum ", h->sum(), "\n");
+    out += StrCat(prom, "_count ", h->count(), "\n");
+  }
+  return out;
+}
+
+Status WritePrometheusFile(const MetricsRegistry& registry,
+                           const std::string& path, std::string_view prefix) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
+  }
+  std::string text = PrometheusText(registry, prefix);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal(StrCat("short write to ", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace cdes::obs

@@ -1,0 +1,30 @@
+#ifndef CDES_OBS_PROM_H_
+#define CDES_OBS_PROM_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cdes::obs {
+
+/// Renders a MetricsRegistry snapshot in the Prometheus text exposition
+/// format (version 0.0.4): one `# TYPE` header plus sample per counter and
+/// gauge, and for each histogram the cumulative `_bucket{le="..."}` series
+/// (including the `+Inf` bucket), `_sum`, and `_count`. Metric names are
+/// sanitized to the Prometheus charset and prefixed
+/// ("sched.msgs.announce" → "cdes_sched_msgs_announce"). Output is
+/// deterministic — the registry's maps are sorted — so it goldens well.
+std::string PrometheusText(const MetricsRegistry& registry,
+                           std::string_view prefix = "cdes_");
+
+/// PrometheusText written to `path` (a node_exporter-style textfile target
+/// or scrape snapshot).
+Status WritePrometheusFile(const MetricsRegistry& registry,
+                           const std::string& path,
+                           std::string_view prefix = "cdes_");
+
+}  // namespace cdes::obs
+
+#endif  // CDES_OBS_PROM_H_

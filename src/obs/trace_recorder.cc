@@ -1,5 +1,7 @@
 #include "obs/trace_recorder.h"
 
+#include "obs/metrics.h"
+
 namespace cdes::obs {
 
 const char* SpanCategoryName(SpanCategory category) {
@@ -20,6 +22,24 @@ const char* SpanCategoryName(SpanCategory category) {
   return "unknown";
 }
 
+void TraceRecorder::PushEvent(TraceEvent event) {
+  if (capacity_ == 0 || events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Ring: overwrite the oldest retained event, counting it as dropped.
+  if (ring_next_ >= events_.size()) ring_next_ = 0;
+  events_[ring_next_] = std::move(event);
+  ring_next_ = (ring_next_ + 1) % events_.size();
+  ++dropped_events_;
+  if (dropped_counter_ != nullptr) dropped_counter_->Increment();
+}
+
+void TraceRecorder::AttachMetrics(MetricsRegistry* metrics) {
+  dropped_counter_ =
+      metrics == nullptr ? nullptr : metrics->counter("trace.dropped_events");
+}
+
 void TraceRecorder::NameProcess(int pid, std::string name) {
   process_names_[pid] = std::move(name);
 }
@@ -38,7 +58,7 @@ void TraceRecorder::Instant(SpanCategory category, std::string name,
   event.pid = pid;
   event.tid = tid;
   event.args = std::move(args);
-  events_.push_back(std::move(event));
+  PushEvent(std::move(event));
 }
 
 void TraceRecorder::Complete(SpanCategory category, std::string name,
@@ -53,7 +73,7 @@ void TraceRecorder::Complete(SpanCategory category, std::string name,
   event.pid = pid;
   event.tid = tid;
   event.args = std::move(args);
-  events_.push_back(std::move(event));
+  PushEvent(std::move(event));
 }
 
 uint64_t TraceRecorder::BeginAsync(SpanCategory category, std::string name,
@@ -71,7 +91,7 @@ uint64_t TraceRecorder::BeginAsync(SpanCategory category, std::string name,
   event.tid = tid;
   event.id = id;
   event.args = std::move(args);
-  events_.push_back(std::move(event));
+  PushEvent(std::move(event));
   return id;
 }
 
@@ -88,9 +108,39 @@ bool TraceRecorder::EndAsync(const std::string& key, uint64_t ts, int pid,
   event.tid = tid;
   event.id = it->second.id;
   event.args = std::move(args);
-  events_.push_back(std::move(event));
+  PushEvent(std::move(event));
   open_async_.erase(it);
   return true;
+}
+
+void TraceRecorder::FlowStart(SpanCategory category, std::string name,
+                              uint64_t flow_id, uint64_t ts, int pid,
+                              uint64_t tid, Args args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kFlowStart;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.pid = pid;
+  event.tid = tid;
+  event.id = flow_id;
+  event.args = std::move(args);
+  PushEvent(std::move(event));
+}
+
+void TraceRecorder::FlowEnd(SpanCategory category, std::string name,
+                            uint64_t flow_id, uint64_t ts, int pid,
+                            uint64_t tid, Args args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kFlowEnd;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts = ts;
+  event.pid = pid;
+  event.tid = tid;
+  event.id = flow_id;
+  event.args = std::move(args);
+  PushEvent(std::move(event));
 }
 
 size_t TraceRecorder::CountEvents(SpanCategory category,

@@ -34,6 +34,8 @@ struct TraceEvent {
     kInstant,     // Chrome "i"
     kAsyncBegin,  // Chrome "b": paired by (category, id)
     kAsyncEnd,    // Chrome "e"
+    kFlowStart,   // Chrome "s": flow arrow origin, paired by id
+    kFlowEnd,     // Chrome "f": flow arrow destination
   };
 
   Phase phase = Phase::kInstant;
@@ -45,7 +47,7 @@ struct TraceEvent {
   int pid = 0;
   /// Chrome "thread": the lane within a site (one per event actor).
   uint64_t tid = 0;
-  /// Async correlation id (kAsyncBegin/kAsyncEnd).
+  /// Async / flow correlation id (kAsyncBegin/kAsyncEnd, kFlow*).
   uint64_t id = 0;
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -60,6 +62,13 @@ struct TraceEvent {
 /// spares call sites from threading span ids through the runtime's message
 /// plumbing. Keys must be unique among *open* spans; reusing a key after the
 /// span closed is fine.
+///
+/// Memory bound: the recorder keeps at most `capacity()` events (default
+/// 1M); beyond that it becomes a ring overwriting the oldest event and
+/// counting the overwritten ones in dropped_events(), so unbounded engine
+/// runs cannot grow it without bound. set_capacity(0) removes the bound.
+/// Once wrapped, events() is in ring order, not chronological — the
+/// Chrome-trace exporter sorts by timestamp, so exports stay valid.
 class TraceRecorder {
  public:
   using Args = std::vector<std::pair<std::string, std::string>>;
@@ -86,10 +95,32 @@ class TraceRecorder {
   /// nothing) when no such span is open.
   bool EndAsync(const std::string& key, uint64_t ts, int pid, uint64_t tid,
                 Args args = {});
+
+  /// Flow arrows (Chrome "s"/"f"): FlowStart opens flow `flow_id` at
+  /// (ts, pid, tid); FlowEnd terminates it elsewhere, and the exporter
+  /// marks the end as binding to the enclosing slice, so viewers draw an
+  /// arrow between the slices/instants at the two coordinates. Flow ids
+  /// are caller-managed (the runtime uses message span ids, the engine
+  /// uses instance ids); `category` and `name` must match across the pair
+  /// for viewers to join them.
+  void FlowStart(SpanCategory category, std::string name, uint64_t flow_id,
+                 uint64_t ts, int pid, uint64_t tid, Args args = {});
+  void FlowEnd(SpanCategory category, std::string name, uint64_t flow_id,
+               uint64_t ts, int pid, uint64_t tid, Args args = {});
   bool HasOpenAsync(const std::string& key) const {
     return open_async_.count(key) != 0;
   }
   size_t open_async_count() const { return open_async_.size(); }
+
+  /// Ring-buffer bound on retained events; applies to events recorded from
+  /// now on (set it before recording). 0 = unlimited.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t capacity() const { return capacity_; }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped_events() const { return dropped_events_; }
+  /// Also surface drops as counter "trace.dropped_events" in `metrics`
+  /// (pass nullptr to detach). The registry must outlive the recorder.
+  void AttachMetrics(class MetricsRegistry* metrics);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   /// Number of recorded events in `category` whose name starts with
@@ -111,7 +142,13 @@ class TraceRecorder {
     std::string name;
   };
 
+  void PushEvent(TraceEvent event);
+
   std::vector<TraceEvent> events_;
+  size_t capacity_ = 1u << 20;
+  size_t ring_next_ = 0;
+  uint64_t dropped_events_ = 0;
+  class Counter* dropped_counter_ = nullptr;
   std::map<std::string, OpenSpan> open_async_;
   uint64_t next_id_ = 1;
   std::map<int, std::string> process_names_;

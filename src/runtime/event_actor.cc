@@ -51,6 +51,27 @@ const Guard* EventActor::CurrentGuard(EventLiteral literal) const {
   if (obs_ != nullptr && obs_->reduction_steps != nullptr) {
     obs_->reduction_steps->Observe(heard_.size() + promises_.size());
   }
+  if (profile_ != nullptr) {
+    const std::vector<GuardProfile::Contribution>& contribs =
+        literal.complemented() ? profile_->negative : profile_->positive;
+    if (!contribs.empty()) {
+      std::vector<const Guard*> reduced;
+      reduced.reserve(contribs.size());
+      for (const GuardProfile::Contribution& c : contribs) {
+        bool sampled = profile_->profiler->BeginEvaluation(c.site);
+        uint64_t t0 = sampled ? obs::ProfilerNowNs() : 0;
+        uint64_t steps0 = host_->residuator()->residuate_calls();
+        uint64_t nodes = 0;
+        reduced.push_back(ReduceContribution(c.guard, &nodes));
+        profile_->profiler->Record(
+            c.site, host_->residuator()->residuate_calls() - steps0, nodes,
+            sampled ? obs::ProfilerNowNs() - t0 : 0, sampled);
+      }
+      // And() re-canonicalizes to the same node the unprofiled fold below
+      // yields; DischargeDiamonds cost is not attributed to any one site.
+      return DischargeDiamonds(host_->guard_arena()->And(reduced));
+    }
+  }
   const Guard* g = CompiledGuard(literal);
   // Occurrences must be assimilated in stamp order for ◇E residuation to be
   // sound; heard_ is kept sorted by stamp.
@@ -63,6 +84,19 @@ const Guard* EventActor::CurrentGuard(EventLiteral literal) const {
                     {AnnouncementKind::kPromised, promised});
   }
   return DischargeDiamonds(g);
+}
+
+const Guard* EventActor::ReduceContribution(const Guard* g,
+                                            uint64_t* nodes) const {
+  for (const auto& [stamp, occurred] : heard_) {
+    g = ReduceGuardCounted(host_->guard_arena(), host_->residuator(), g,
+                           {AnnouncementKind::kOccurred, occurred}, nodes);
+  }
+  for (const auto& [promised, after] : promises_) {
+    g = ReduceGuardCounted(host_->guard_arena(), host_->residuator(), g,
+                           {AnnouncementKind::kPromised, promised}, nodes);
+  }
+  return g;
 }
 
 const Guard* EventActor::DischargeDiamonds(const Guard* g) const {

@@ -9,6 +9,7 @@
 
 #include "algebra/residuation.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "runtime/messages.h"
 #include "sched/scheduler.h"
 #include "spec/ast.h"
@@ -49,6 +50,25 @@ class ActorHost {
 
   virtual GuardArena* guard_arena() = 0;
   virtual Residuator* residuator() = 0;
+};
+
+/// Per-actor profiling attachment, built by the owning scheduler when a
+/// GuardProfiler is configured: the literal's compiled guard split back
+/// into its per-dependency contributions (CompiledWorkflow keeps them),
+/// each tagged with its profiler site. CurrentGuard then reduces every
+/// contribution separately — so cost is attributed to the owning
+/// (dependency, event) pair — and re-conjoins them; ReduceGuard distributes
+/// over And and the arena's And canonicalization is deterministic, so the
+/// re-conjoined guard is the same hash-consed node the unprofiled path
+/// produces.
+struct GuardProfile {
+  struct Contribution {
+    obs::GuardProfiler::Site* site;
+    const Guard* guard;
+  };
+  obs::GuardProfiler* profiler = nullptr;
+  std::vector<Contribution> positive;
+  std::vector<Contribution> negative;
 };
 
 /// The active entity instantiated for each event type (§2): maintains the
@@ -95,6 +115,11 @@ class EventActor {
   /// flags in §4.3; see DESIGN.md for the soundness discussion.
   static bool EvaluateNow(const Guard* g);
 
+  /// Attaches per-dependency profiling (nullptr to detach). `profile` must
+  /// outlive the actor; its guards must conjoin to this actor's compiled
+  /// guards.
+  void set_profile(const GuardProfile* profile) { profile_ = profile; }
+
   bool decided() const { return decided_.has_value(); }
   std::optional<EventLiteral> decided_literal() const { return decided_; }
   size_t parked_count() const { return parked_.size(); }
@@ -112,6 +137,10 @@ class EventActor {
   const Guard* CompiledGuard(EventLiteral literal) const {
     return literal.complemented() ? negative_guard_ : positive_guard_;
   }
+
+  /// The heard_/promises_ fold of CurrentGuard over one contribution,
+  /// counting visited guard nodes into `*nodes`.
+  const Guard* ReduceContribution(const Guard* g, uint64_t* nodes) const;
 
   /// Replaces ◇E nodes whose residual is guaranteed by the held ordered
   /// promises with ⊤: every linearization of the promised events that is
@@ -153,6 +182,7 @@ class EventActor {
   EventAttributes positive_attrs_;
   EventAttributes negative_attrs_;
   const obs::ActorObs* obs_;
+  const GuardProfile* profile_ = nullptr;
 
   std::optional<EventLiteral> decided_;
   /// (stamp, literal) occurrences heard, kept sorted by stamp.

@@ -86,6 +86,16 @@ struct RuntimeMessage {
   /// conditional-promise hypothetical: e.g. in the chain a·b·c, c can
   /// promise b ("◇c once you occur") because b's request carries a.
   std::vector<EventLiteral> implied;
+
+  /// Causal trace context, stamped by the sending scheduler when a tracer
+  /// is installed (0/0 = untraced). `trace_id` groups all messages of one
+  /// logical unit (the engine uses the workflow instance id); `span_id`
+  /// uniquely identifies this message so the exporter can draw a flow arrow
+  /// from the send to the delivery — the context rides through the reliable
+  /// transport, so retransmitted copies carry it too and the arrow lands on
+  /// the delivery that finally assimilates.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 }  // namespace cdes

@@ -38,6 +38,15 @@ std::vector<ParkedDiagnosis> DiagnoseParked(WorkflowContext* ctx,
           break;
         }
       }
+      if (scheduler->profiler() != nullptr) {
+        auto hottest = scheduler->profiler()->HottestFor(
+            ctx->alphabet()->LiteralName(literal));
+        if (hottest.has_value()) {
+          diagnosis.hottest_site =
+              StrCat(hottest->dependency, " (", hottest->source, ", ",
+                     hottest->evaluations, " evals)");
+        }
+      }
       if (diagnosis.doomed && scheduler->tracer() != nullptr) {
         scheduler->tracer()->Instant(
             obs::SpanCategory::kLifecycle,
@@ -62,7 +71,11 @@ std::string DiagnosisToString(const std::vector<ParkedDiagnosis>& diagnoses,
     }
     out += StrCat("parked ", alphabet.LiteralName(d.literal), ": guard ",
                   d.guard, "; waiting for {", StrJoin(needs, ", "), "}",
-                  d.doomed ? " [doomed]" : "", "\n");
+                  d.doomed ? " [doomed]" : "",
+                  d.hottest_site.empty()
+                      ? ""
+                      : StrCat("; hottest guard: ", d.hottest_site),
+                  "\n");
   }
   return out;
 }

@@ -22,6 +22,11 @@ struct ParkedDiagnosis {
   /// way and no alternative remains: the event will eventually be
   /// rejected, not enabled.
   bool doomed = false;
+  /// When the scheduler runs with a guard profiler, the costliest
+  /// profiled site for this event — "which dependency's guard is burning
+  /// the time while this sits parked". Empty when profiling is off or the
+  /// site was never evaluated.
+  std::string hottest_site;
 };
 
 /// Diagnoses every parked attempt in `scheduler`.

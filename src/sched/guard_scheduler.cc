@@ -135,6 +135,25 @@ Status GuardScheduler::Install(const CompiledWorkflow& compiled,
     actors_[symbol] = std::make_unique<EventActor>(
         this, symbol, site, compiled.GuardFor(pos), compiled.GuardFor(neg_lit),
         attrs, negative, &actor_obs_);
+    if (options_.profiler != nullptr) {
+      // Split the compiled conjunction back into its per-dependency
+      // contributions, each registered (deduplicated profiler-wide) as a
+      // (dependency, event) site carrying the dependency's spec location.
+      GuardProfile& profile = profiles_[symbol];
+      profile.profiler = options_.profiler;
+      for (EventLiteral l : {pos, neg_lit}) {
+        std::vector<GuardProfile::Contribution>& dst =
+            l.complemented() ? profile.negative : profile.positive;
+        for (const auto& [di, g] : compiled.ContributionsFor(l)) {
+          const Dependency& dep = compiled.dependencies()[di];
+          dst.push_back(GuardProfile::Contribution{
+              options_.profiler->RegisterSite(
+                  dep.name, ctx_->alphabet()->LiteralName(l), dep.loc),
+              g});
+        }
+      }
+      actors_[symbol]->set_profile(&profile);
+    }
     if (tracer_ != nullptr) {
       tracer_->NameProcess(site, StrCat("site ", site));
       tracer_->NameLane(site, symbol,
@@ -312,6 +331,12 @@ void GuardScheduler::TraceSend(SymbolId from, SymbolId target,
   const Alphabet& alphabet = *ctx_->alphabet();
   int src_site = actors_.at(from)->site();
   SimTime now = network_->sim()->now();
+  if (msg.span_id != 0) {
+    // Flow arrow origin; TraceDeliver emits the matching end at the
+    // destination when the message finally lands.
+    tracer_->FlowStart(obs::SpanCategory::kMessage, MessageKindName(msg.kind),
+                       msg.span_id, now, src_site, from);
+  }
   switch (msg.kind) {
     case RuntimeMessageKind::kAnnounce:
     case RuntimeMessageKind::kTrigger:
@@ -343,6 +368,20 @@ void GuardScheduler::TraceSend(SymbolId from, SymbolId target,
   }
 }
 
+void GuardScheduler::TraceDeliver(const RuntimeMessage& msg,
+                                  const EventActor* to) {
+  if (tracer_ == nullptr || msg.span_id == 0) return;
+  SimTime now = network_->sim()->now();
+  tracer_->Instant(obs::SpanCategory::kMessage,
+                   StrCat("assimilate ",
+                          ctx_->alphabet()->LiteralName(msg.literal)),
+                   now, to->site(), to->symbol(),
+                   {{"kind", MessageKindName(msg.kind)},
+                    {"trace", StrCat(msg.trace_id)}});
+  tracer_->FlowEnd(obs::SpanCategory::kMessage, MessageKindName(msg.kind),
+                   msg.span_id, now, to->site(), to->symbol());
+}
+
 void GuardScheduler::Broadcast(SymbolId from, const RuntimeMessage& msg) {
   auto it = subscribers_.find(from);
   if (it == subscribers_.end()) return;
@@ -350,7 +389,20 @@ void GuardScheduler::Broadcast(SymbolId from, const RuntimeMessage& msg) {
   for (SymbolId target : it->second) {
     EventActor* actor = actors_.at(target).get();
     CountMessage(msg.kind);
-    if (tracer_ != nullptr) TraceSend(from, target, msg);
+    if (tracer_ != nullptr) {
+      // Stamp causal context per target: each copy of the broadcast gets
+      // its own span id, so every delivery draws its own flow arrow.
+      RuntimeMessage traced = msg;
+      traced.trace_id = options_.trace_id;
+      traced.span_id = ++next_span_id_;
+      TraceSend(from, target, traced);
+      transport_->Send(src_site, actor->site(), options_.message_bytes,
+                       [this, actor, traced] {
+                         TraceDeliver(traced, actor);
+                         actor->Receive(traced);
+                       });
+      continue;
+    }
     transport_->Send(src_site, actor->site(), options_.message_bytes,
                      [actor, msg] { actor->Receive(msg); });
   }
@@ -363,7 +415,18 @@ void GuardScheduler::SendTo(SymbolId from, SymbolId target,
   EventActor* actor = it->second.get();
   int src_site = actors_.at(from)->site();
   CountMessage(msg.kind);
-  if (tracer_ != nullptr) TraceSend(from, target, msg);
+  if (tracer_ != nullptr) {
+    RuntimeMessage traced = msg;
+    traced.trace_id = options_.trace_id;
+    traced.span_id = ++next_span_id_;
+    TraceSend(from, target, traced);
+    transport_->Send(src_site, actor->site(), options_.message_bytes,
+                     [this, actor, traced] {
+                       TraceDeliver(traced, actor);
+                       actor->Receive(traced);
+                     });
+    return;
+  }
   transport_->Send(src_site, actor->site(), options_.message_bytes,
                    [actor, msg] { actor->Receive(msg); });
 }

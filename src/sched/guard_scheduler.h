@@ -9,6 +9,7 @@
 
 #include "guards/workflow.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "runtime/event_actor.h"
 #include "runtime/event_log.h"
 #include "runtime/reliable_transport.h"
@@ -44,6 +45,19 @@ struct GuardSchedulerOptions {
   /// promise request→grant spans. Null ⇒ every trace site is one
   /// branch-on-null.
   obs::TraceRecorder* tracer = nullptr;
+  /// When set, guard evaluations are profiled per (dependency, event) site:
+  /// actors evaluate each dependency's contribution separately and charge
+  /// its reduction steps / visited nodes / sampled wall time to the shared
+  /// profiler. Null ⇒ the split-evaluation path is never taken and costs
+  /// nothing. The profiler may be shared across schedulers and threads
+  /// (engine shards register into one).
+  obs::GuardProfiler* profiler = nullptr;
+  /// Trace id stamped (with a fresh span id) on every protocol message when
+  /// a tracer is installed, so announcements, promises, and retransmits
+  /// carry causal context across sites; exporters join the send and the
+  /// delivery into one flow arrow. The engine sets this to the workflow
+  /// instance id.
+  uint64_t trace_id = 0;
   /// Per-attempt lifecycle instrumentation (decision-latency histogram,
   /// parked spans) costs one allocation per attempt; it is enabled whenever
   /// a registry or tracer is installed. Clearing this keeps the cheap
@@ -129,6 +143,8 @@ class GuardScheduler : public Scheduler, public ActorHost {
   /// The registry the "sched.*" metrics report into (installed or private).
   obs::MetricsRegistry* metrics() const { return metrics_; }
   obs::TraceRecorder* tracer() const { return tracer_; }
+  /// The guard profiler evaluations report into, or nullptr.
+  obs::GuardProfiler* profiler() const { return options_.profiler; }
   Network* network() const { return network_; }
   /// The exactly-once delivery layer protocol messages ride on.
   ReliableTransport* transport() const { return transport_.get(); }
@@ -185,6 +201,10 @@ class GuardScheduler : public Scheduler, public ActorHost {
                               AttemptCallback done);
   void CountMessage(RuntimeMessageKind kind);
   void TraceSend(SymbolId from, SymbolId target, const RuntimeMessage& msg);
+  /// Assimilation instant + flow-arrow end at the destination actor; runs
+  /// at final delivery (after any retransmits), so the arrow connects the
+  /// original send to the delivery that actually landed.
+  void TraceDeliver(const RuntimeMessage& msg, const EventActor* to);
 
   WorkflowContext* ctx_;
   Network* network_;
@@ -195,6 +215,9 @@ class GuardScheduler : public Scheduler, public ActorHost {
   std::set<SymbolId> symbols_;
   bool impossible_ = false;
   std::map<SymbolId, std::unique_ptr<EventActor>> actors_;
+  /// Per-actor contribution→site tables when options_.profiler is set
+  /// (node-stable map: actors hold pointers into it).
+  std::map<SymbolId, GuardProfile> profiles_;
   /// symbol → symbols of actors whose guards mention it.
   std::map<SymbolId, std::set<SymbolId>> subscribers_;
   std::map<SymbolId, EventAttributes> attrs_;
@@ -227,6 +250,8 @@ class GuardScheduler : public Scheduler, public ActorHost {
   obs::Counter* rejected_ = nullptr;
   obs::Histogram* decision_latency_ = nullptr;
   uint64_t attempt_seq_ = 0;
+  /// Span-id generator for causal trace contexts (0 = unstamped).
+  uint64_t next_span_id_ = 0;
 };
 
 }  // namespace cdes

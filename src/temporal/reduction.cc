@@ -3,8 +3,11 @@
 namespace cdes {
 namespace {
 
+template <bool kCount>
 const Guard* ReduceOnOccurred(GuardArena* arena, Residuator* residuator,
-                              const Guard* g, EventLiteral l) {
+                              const Guard* g, EventLiteral l,
+                              uint64_t* nodes) {
+  if constexpr (kCount) ++*nodes;
   switch (g->kind()) {
     case GuardKind::kFalse:
     case GuardKind::kTrue:
@@ -24,7 +27,8 @@ const Guard* ReduceOnOccurred(GuardArena* arena, Residuator* residuator,
       std::vector<const Guard*> kids;
       kids.reserve(g->children().size());
       for (const Guard* c : g->children()) {
-        kids.push_back(ReduceOnOccurred(arena, residuator, c, l));
+        kids.push_back(ReduceOnOccurred<kCount>(arena, residuator, c, l,
+                                                nodes));
       }
       return g->kind() == GuardKind::kAnd ? arena->And(kids)
                                           : arena->Or(kids);
@@ -33,8 +37,10 @@ const Guard* ReduceOnOccurred(GuardArena* arena, Residuator* residuator,
   return g;
 }
 
+template <bool kCount>
 const Guard* ReduceOnPromised(GuardArena* arena, const Guard* g,
-                              EventLiteral l) {
+                              EventLiteral l, uint64_t* nodes) {
+  if constexpr (kCount) ++*nodes;
   switch (g->kind()) {
     case GuardKind::kFalse:
     case GuardKind::kTrue:
@@ -66,7 +72,7 @@ const Guard* ReduceOnPromised(GuardArena* arena, const Guard* g,
       std::vector<const Guard*> kids;
       kids.reserve(g->children().size());
       for (const Guard* c : g->children()) {
-        kids.push_back(ReduceOnPromised(arena, c, l));
+        kids.push_back(ReduceOnPromised<kCount>(arena, c, l, nodes));
       }
       return g->kind() == GuardKind::kAnd ? arena->And(kids)
                                           : arena->Or(kids);
@@ -80,9 +86,21 @@ const Guard* ReduceOnPromised(GuardArena* arena, const Guard* g,
 const Guard* ReduceGuard(GuardArena* arena, Residuator* residuator,
                          const Guard* g, const Announcement& announcement) {
   if (announcement.kind == AnnouncementKind::kOccurred) {
-    return ReduceOnOccurred(arena, residuator, g, announcement.literal);
+    return ReduceOnOccurred<false>(arena, residuator, g, announcement.literal,
+                                   nullptr);
   }
-  return ReduceOnPromised(arena, g, announcement.literal);
+  return ReduceOnPromised<false>(arena, g, announcement.literal, nullptr);
+}
+
+const Guard* ReduceGuardCounted(GuardArena* arena, Residuator* residuator,
+                                const Guard* g,
+                                const Announcement& announcement,
+                                uint64_t* nodes) {
+  if (announcement.kind == AnnouncementKind::kOccurred) {
+    return ReduceOnOccurred<true>(arena, residuator, g, announcement.literal,
+                                  nodes);
+  }
+  return ReduceOnPromised<true>(arena, g, announcement.literal, nodes);
 }
 
 const Expr* PruneImpossibleLiteral(ExprArena* arena, const Expr* e,

@@ -34,6 +34,16 @@ struct Announcement {
 const Guard* ReduceGuard(GuardArena* arena, Residuator* residuator,
                          const Guard* g, const Announcement& announcement);
 
+/// ReduceGuard that additionally accumulates into `*nodes` the number of
+/// guard nodes visited by the reduction walk — the profiler's
+/// "expression-tree nodes" metric. The counting walk is a separate template
+/// instantiation, so the plain overload above compiles without the counter
+/// and profiling off costs nothing.
+const Guard* ReduceGuardCounted(GuardArena* arena, Residuator* residuator,
+                                const Guard* g,
+                                const Announcement& announcement,
+                                uint64_t* nodes);
+
 /// Replaces every atom `dead` inside `e` with 0 (the event can no longer
 /// occur) and rebuilds. Unlike residuation this consumes no ordering
 /// information.

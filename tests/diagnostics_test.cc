@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/profiler.h"
 #include "obs/trace_recorder.h"
 #include "sched/diagnostics.h"
 #include "spec/parser.h"
@@ -13,7 +14,8 @@ namespace {
 
 struct DiagWorld {
   explicit DiagWorld(const char* spec_text,
-                     obs::TraceRecorder* tracer = nullptr) {
+                     obs::TraceRecorder* tracer = nullptr,
+                     obs::GuardProfiler* profiler = nullptr) {
     auto parsed = ParseWorkflow(&ctx, spec_text);
     CDES_CHECK(parsed.ok()) << parsed.status();
     workflow = std::move(parsed).value();
@@ -22,6 +24,7 @@ struct DiagWorld {
     network = std::make_unique<Network>(&sim, 4, nopts);
     GuardSchedulerOptions sopts;
     sopts.tracer = tracer;
+    sopts.profiler = profiler;
     sched = std::make_unique<GuardScheduler>(&ctx, workflow, network.get(),
                                              sopts);
   }
@@ -224,6 +227,30 @@ TEST(DiagnosticsTest, RendersOneLinePerParkedAttempt) {
   EXPECT_NE(rendered.find("parked b"), std::string::npos);
   EXPECT_NE(rendered.find("parked c"), std::string::npos);
   EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 2);
+}
+
+TEST(DiagnosticsTest, NamesHottestGuardSiteWhenProfiled) {
+  // Without a profiler the diagnosis carries no site attribution.
+  {
+    DiagWorld w(kChainSpec);
+    w.AttemptAndRun("c");
+    std::vector<ParkedDiagnosis> diagnoses =
+        DiagnoseParked(&w.ctx, w.sched.get());
+    ASSERT_EQ(diagnoses.size(), 1u);
+    EXPECT_TRUE(diagnoses[0].hottest_site.empty());
+  }
+  // With one, the parked line points at the dependency whose guard is
+  // burning the evaluations while the event sits parked.
+  obs::GuardProfiler profiler(/*sample_every=*/1);
+  DiagWorld w(kChainSpec, /*tracer=*/nullptr, &profiler);
+  w.AttemptAndRun("c");
+  std::vector<ParkedDiagnosis> diagnoses =
+      DiagnoseParked(&w.ctx, w.sched.get());
+  ASSERT_EQ(diagnoses.size(), 1u);
+  EXPECT_NE(diagnoses[0].hottest_site.find("d"), std::string::npos);
+  EXPECT_NE(diagnoses[0].hottest_site.find("evals"), std::string::npos);
+  std::string rendered = DiagnosisToString(diagnoses, *w.ctx.alphabet());
+  EXPECT_NE(rendered.find("hottest guard: d"), std::string::npos);
 }
 
 }  // namespace

@@ -4,13 +4,18 @@
 // The TSan stress cases at the bottom run under the CI thread-sanitizer job.
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"
+#include "obs/json.h"
 
 namespace cdes::engine {
 namespace {
@@ -341,6 +346,139 @@ TEST(EngineTest, InstanceSpansRecordedWhenTraced) {
     if (ev.name.rfind("instance ", 0) == 0) ++spans;
   }
   EXPECT_EQ(spans, 8u);
+}
+
+/// Finds `name` in the snapshot's histogram digests, or nullptr.
+const EngineMetricsSnapshot::HistogramSummary* FindHistogram(
+    const EngineMetricsSnapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(EngineTest, LatencyHistogramsSummarizedInSnapshot) {
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.lifecycle_metrics = true;
+  Engine eng(TravelSpec(), opts);
+  constexpr size_t kInstances = 12;
+  for (size_t i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+  }
+  eng.Drain();
+  eng.Stop();
+  EngineMetricsSnapshot snap = eng.Metrics();
+  // Submit→complete and admission-wait are observed once per instance in
+  // the manager's registry.
+  const auto* lat = FindHistogram(snap, "engine.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, kInstances);
+  EXPECT_GE(lat->p99, lat->p50);
+  const auto* wait = FindHistogram(snap, "engine.admission_wait_us");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, kInstances);
+  // After Stop the worker-confined shard registries merge in too: the
+  // per-instance scheduler lifecycle histograms become engine-level
+  // digests (that is what lifecycle_metrics buys).
+  EXPECT_NE(FindHistogram(snap, "sched.decision_latency_us"), nullptr);
+
+  // PublishTo exports each digest as <name>.{count,mean,p50,p99,max}
+  // gauges, and ToString renders one line per histogram.
+  obs::MetricsRegistry registry;
+  snap.PublishTo(&registry);
+  EXPECT_EQ(registry.gauge("engine.latency_us.count")->value(),
+            static_cast<double>(kInstances));
+  EXPECT_NE(snap.ToString().find("engine.latency_us"), std::string::npos);
+}
+
+TEST(EngineTest, TelemetryFileStreamsParseableSnapshots) {
+  const std::string path =
+      ::testing::TempDir() + "cdes_engine_telemetry.jsonl";
+  std::remove(path.c_str());
+  EngineOptions opts;
+  opts.shards = 2;
+  Engine eng(TravelSpec(), opts);
+  ASSERT_TRUE(
+      eng.StartTelemetryFile(std::chrono::milliseconds(5), path).ok());
+  constexpr size_t kInstances = 16;
+  for (size_t i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+  }
+  eng.Drain();
+  eng.Stop();  // joins the publisher, then emits one final covering line
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string line, last;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    last = line;
+    // Every line is one valid JSON object (the cdes-top contract).
+    EXPECT_TRUE(obs::ParseJson(line).ok()) << line;
+  }
+  ASSERT_GE(lines, 1u);
+  auto parsed = obs::ParseJson(last);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue& snap = parsed.value();
+  EXPECT_DOUBLE_EQ(snap.Find("schema_version")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Find("completed")->number(),
+                   static_cast<double>(kInstances));
+  EXPECT_DOUBLE_EQ(snap.Find("in_flight")->number(), 0.0);
+  ASSERT_NE(snap.Find("shard_queue_depth"), nullptr);
+  EXPECT_EQ(snap.Find("shard_queue_depth")->array().size(), 2u);
+  // The final line lands after shutdown, so it carries the full-run
+  // latency histogram.
+  const obs::JsonValue* hist = snap.Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const obs::JsonValue* lat = hist->Find("engine.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->Find("count")->number(),
+                   static_cast<double>(kInstances));
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, FlowEventsLinkSubmitToCompletion) {
+  obs::TraceRecorder recorder;
+  obs::GuardProfiler profiler(/*sample_every=*/1);
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.tracer = &recorder;
+  opts.profiler = &profiler;
+  Engine eng(TravelSpec(), opts);
+  constexpr size_t kInstances = 10;
+  for (size_t i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+  }
+  eng.Drain();
+  eng.Stop();
+  // Each instance gets a flow arrow from its submit slice on the engine
+  // lane to its completion span on whichever shard ran it.
+  std::set<uint64_t> start_ids, end_ids;
+  for (const obs::TraceEvent& e : recorder.events()) {
+    if (e.name != "instance") continue;
+    if (e.phase == obs::TraceEvent::Phase::kFlowStart) {
+      EXPECT_EQ(e.pid, kEngineTracePid);
+      EXPECT_TRUE(start_ids.insert(e.id).second) << e.id;
+    } else if (e.phase == obs::TraceEvent::Phase::kFlowEnd) {
+      EXPECT_LT(e.pid, 2);  // a shard lane
+      EXPECT_TRUE(end_ids.insert(e.id).second) << e.id;
+    }
+  }
+  EXPECT_EQ(start_ids.size(), kInstances);
+  EXPECT_EQ(start_ids, end_ids);
+  EXPECT_EQ(recorder.CountEvents(obs::SpanCategory::kSim, "submit ",
+                                 obs::TraceEvent::Phase::kComplete),
+            kInstances);
+  // With the shared profiler attached, the JSONL snapshot line names the
+  // hottest guard sites.
+  auto parsed = obs::ParseJson(eng.Metrics().ToJsonLine(123, &profiler));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* hot = parsed.value().Find("hot_guards");
+  ASSERT_NE(hot, nullptr);
+  ASSERT_FALSE(hot->array().empty());
+  EXPECT_NE(hot->array()[0].Find("site"), nullptr);
 }
 
 // ---- TSan stress: run under the CI thread-sanitizer job ----

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "algebra/trace.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/prom.h"
 #include "sched/automata_scheduler.h"
 #include "sched/guard_scheduler.h"
 #include "sched/residuation_scheduler.h"
@@ -49,6 +54,78 @@ TEST(MetricsTest, HistogramBucketsAndStats) {
   EXPECT_LE(h->Percentile(0.5), 4u);
   // Same name returns the existing histogram even with different bounds.
   EXPECT_EQ(registry.histogram("lat", {7}), h);
+}
+
+TEST(MetricsTest, PercentileEdgeCases) {
+  obs::MetricsRegistry registry;
+  // An empty histogram reports zeros, never divides by its zero count.
+  obs::Histogram* empty = registry.histogram("empty", {1, 2, 4});
+  EXPECT_EQ(empty->Percentile(0.5), 0u);
+  EXPECT_EQ(empty->min(), 0u);
+  EXPECT_EQ(empty->max(), 0u);
+  EXPECT_DOUBLE_EQ(empty->Mean(), 0.0);
+  // Samples above the top bound land in the overflow bucket; percentiles
+  // that resolve there report the observed max, not a fabricated bound.
+  obs::Histogram* high = registry.histogram("high", {1, 2, 4});
+  high->Observe(100);
+  EXPECT_EQ(high->count(), 1u);
+  EXPECT_EQ(high->Percentile(0.5), 100u);
+  EXPECT_EQ(high->Percentile(0.99), 100u);
+  // Out-of-range p clamps instead of reading past the buckets.
+  obs::Histogram* h = registry.histogram("clamped", {1, 2, 4});
+  h->Observe(1);
+  h->Observe(2);
+  EXPECT_EQ(h->Percentile(-0.5), h->Percentile(0.0));
+  EXPECT_EQ(h->Percentile(1.5), h->Percentile(1.0));
+}
+
+TEST(MetricsTest, HistogramMergeCombinesPerShardSamples) {
+  obs::MetricsRegistry a, b;
+  obs::Histogram* ha = a.histogram("lat", {1, 2, 4});
+  obs::Histogram* hb = b.histogram("lat", {1, 2, 4});
+  ha->Observe(0);
+  ha->Observe(3);
+  hb->Observe(2);
+  hb->Observe(100);
+  ASSERT_TRUE(ha->MergeFrom(*hb));
+  EXPECT_EQ(ha->count(), 4u);
+  EXPECT_EQ(ha->sum(), 105u);
+  EXPECT_EQ(ha->min(), 0u);
+  EXPECT_EQ(ha->max(), 100u);
+  ASSERT_EQ(ha->buckets().size(), 4u);
+  EXPECT_EQ(ha->buckets()[0], 1u);  // 0
+  EXPECT_EQ(ha->buckets()[1], 1u);  // 2
+  EXPECT_EQ(ha->buckets()[2], 1u);  // 3
+  EXPECT_EQ(ha->buckets()[3], 1u);  // 100 (overflow)
+  // Bound-mismatched merges are refused and leave the target untouched.
+  obs::Histogram* other = a.histogram("other", {8});
+  other->Observe(1);
+  EXPECT_FALSE(ha->MergeFrom(*other));
+  EXPECT_EQ(ha->count(), 4u);
+  EXPECT_EQ(ha->sum(), 105u);
+}
+
+TEST(MetricsTest, RegistryMergeFoldsShardRegistries) {
+  obs::MetricsRegistry engine, shard;
+  engine.counter("events")->Increment(3);
+  shard.counter("events")->Increment(4);
+  shard.counter("parks")->Increment(1);
+  engine.gauge("depth")->Set(1.0);
+  shard.gauge("depth")->Set(9.0);
+  shard.histogram("lat", {1, 2, 4})->Observe(3);
+  engine.histogram("mismatch", {1});
+  shard.histogram("mismatch", {5})->Observe(2);
+  // Counters add, gauges take the source's value, absent histograms are
+  // adopted with the source's bounds; the one bound mismatch is skipped
+  // and counted in the return value.
+  EXPECT_EQ(engine.MergeFrom(shard), 1u);
+  EXPECT_EQ(engine.counter("events")->value(), 7u);
+  EXPECT_EQ(engine.counter("parks")->value(), 1u);
+  EXPECT_DOUBLE_EQ(engine.gauge("depth")->value(), 9.0);
+  EXPECT_EQ(engine.histogram("lat")->count(), 1u);
+  EXPECT_EQ(engine.histogram("lat")->bounds(),
+            (std::vector<uint64_t>{1, 2, 4}));
+  EXPECT_EQ(engine.histogram("mismatch")->count(), 0u);
 }
 
 TEST(MetricsTest, ExponentialBoundsDouble) {
@@ -101,6 +178,31 @@ TEST(JsonTest, EscapeHandlesControlCharacters) {
   EXPECT_EQ(obs::JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
 }
 
+// ------------------------------------------------------------- Prometheus
+
+TEST(PromTest, GoldenTextExposition) {
+  obs::MetricsRegistry registry;
+  registry.counter("sched.msgs.announce")->Increment(3);
+  registry.gauge("queue.depth")->Set(2.5);
+  obs::Histogram* h = registry.histogram("lat.us", {1, 2, 4});
+  for (uint64_t v : {0u, 1u, 2u, 3u, 4u, 100u}) h->Observe(v);
+  // Exact text: names sanitized to the Prometheus charset with the cdes_
+  // prefix, disjoint registry buckets re-expressed cumulatively, and the
+  // +Inf bucket equal to _count.
+  EXPECT_EQ(obs::PrometheusText(registry),
+            "# TYPE cdes_sched_msgs_announce counter\n"
+            "cdes_sched_msgs_announce 3\n"
+            "# TYPE cdes_queue_depth gauge\n"
+            "cdes_queue_depth 2.5\n"
+            "# TYPE cdes_lat_us histogram\n"
+            "cdes_lat_us_bucket{le=\"1\"} 2\n"
+            "cdes_lat_us_bucket{le=\"2\"} 3\n"
+            "cdes_lat_us_bucket{le=\"4\"} 5\n"
+            "cdes_lat_us_bucket{le=\"+Inf\"} 6\n"
+            "cdes_lat_us_sum 110\n"
+            "cdes_lat_us_count 6\n");
+}
+
 // ---------------------------------------------------------- TraceRecorder
 
 TEST(TraceRecorderTest, AsyncSpansPairByKey) {
@@ -145,6 +247,43 @@ TEST(TraceRecorderTest, CountEventsFiltersByCategoryPrefixAndPhase) {
             1u);
 }
 
+TEST(TraceRecorderTest, RingCapacityBoundsRetainedEvents) {
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder recorder;
+  recorder.set_capacity(4);
+  recorder.AttachMetrics(&metrics);
+  for (uint64_t ts = 1; ts <= 6; ++ts) {
+    recorder.Instant(obs::SpanCategory::kSim, "tick", ts, 0, 0);
+  }
+  // The ring overwrote the two oldest events and counted them, both in
+  // dropped_events() and in the attached registry counter.
+  EXPECT_EQ(recorder.events().size(), 4u);
+  EXPECT_EQ(recorder.dropped_events(), 2u);
+  EXPECT_EQ(metrics.counter("trace.dropped_events")->value(), 2u);
+  std::vector<uint64_t> kept;
+  for (const obs::TraceEvent& e : recorder.events()) kept.push_back(e.ts);
+  std::sort(kept.begin(), kept.end());
+  EXPECT_EQ(kept, (std::vector<uint64_t>{3, 4, 5, 6}));
+  // A wrapped ring is in ring order, not chronological; the exporter must
+  // still produce a globally ts-sorted trace.
+  auto parsed = obs::ParseJson(obs::ChromeTraceJson(recorder));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  std::vector<double> ts;
+  for (const obs::JsonValue& e : parsed.value().Find("traceEvents")->array()) {
+    if (e.Find("ph")->string() != "M") ts.push_back(e.Find("ts")->number());
+  }
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+
+  // Capacity 0 removes the bound.
+  obs::TraceRecorder unbounded;
+  unbounded.set_capacity(0);
+  for (uint64_t t = 0; t < 10; ++t) {
+    unbounded.Instant(obs::SpanCategory::kSim, "tick", t, 0, 0);
+  }
+  EXPECT_EQ(unbounded.events().size(), 10u);
+  EXPECT_EQ(unbounded.dropped_events(), 0u);
+}
+
 // ------------------------------------------------------- Chrome exporter
 
 TEST(ChromeTraceTest, ExportsWellFormedSortedJson) {
@@ -180,6 +319,114 @@ TEST(ChromeTraceTest, ExportsWellFormedSortedJson) {
   // The complete span kept its duration, the instant its args.
   EXPECT_NE(json.find("\"dur\": 15"), std::string::npos);
   EXPECT_NE(json.find("\"k\": \"v\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, FlowEventsCarryIdAndBindToEnclosingSlice) {
+  obs::TraceRecorder recorder;
+  recorder.Complete(obs::SpanCategory::kSim, "submit 7", 10, 2, 9, 0);
+  recorder.FlowStart(obs::SpanCategory::kSim, "instance", 7, 10, 9, 0);
+  recorder.Complete(obs::SpanCategory::kSim, "instance 7", 40, 5, 1, 7);
+  recorder.FlowEnd(obs::SpanCategory::kSim, "instance", 7, 42, 1, 7);
+  auto parsed = obs::ParseJson(obs::ChromeTraceJson(recorder));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* start = nullptr;
+  const obs::JsonValue* end = nullptr;
+  for (const obs::JsonValue& e : parsed.value().Find("traceEvents")->array()) {
+    if (e.Find("ph")->string() == "s") start = &e;
+    if (e.Find("ph")->string() == "f") end = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(end, nullptr);
+  // Viewers join the pair on (name, cat, id); the end binds to the
+  // enclosing slice ("bp": "e"), so the arrow lands on the span the
+  // flow terminates inside rather than whatever slice starts next.
+  EXPECT_DOUBLE_EQ(start->Find("id")->number(), 7.0);
+  EXPECT_DOUBLE_EQ(end->Find("id")->number(), 7.0);
+  EXPECT_EQ(start->Find("name")->string(), end->Find("name")->string());
+  EXPECT_EQ(start->Find("cat")->string(), end->Find("cat")->string());
+  ASSERT_NE(end->Find("bp"), nullptr);
+  EXPECT_EQ(end->Find("bp")->string(), "e");
+  EXPECT_EQ(start->Find("bp"), nullptr);
+}
+
+// --------------------------------------------------------- GuardProfiler
+
+TEST(GuardProfilerTest, SitesDedupAndAccumulate) {
+  obs::GuardProfiler profiler(/*sample_every=*/1);
+  profiler.set_source("travel.wf");
+  SourceLocation loc;
+  loc.line = 15;
+  loc.column = 3;
+  obs::GuardProfiler::Site* site = profiler.RegisterSite("d1", "s_book", loc);
+  ASSERT_NE(site, nullptr);
+  // Same (dependency, event) key → the same shared handle, so shards
+  // compiling the same spec pool their counts into one site.
+  EXPECT_EQ(profiler.RegisterSite("d1", "s_book", loc), site);
+  EXPECT_EQ(profiler.site_count(), 1u);
+  EXPECT_TRUE(profiler.BeginEvaluation(site));  // sample_every=1: always
+  profiler.Record(site, /*residuation_steps=*/5, /*nodes_visited=*/7,
+                  /*wall_ns=*/100, /*sampled=*/true);
+  std::vector<obs::GuardSiteStats> snap = profiler.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].dependency, "d1");
+  EXPECT_EQ(snap[0].event, "s_book");
+  EXPECT_EQ(snap[0].source, "travel.wf:15:3");
+  EXPECT_EQ(snap[0].evaluations, 1u);
+  EXPECT_EQ(snap[0].residuation_steps, 5u);
+  EXPECT_EQ(snap[0].nodes_visited, 7u);
+  EXPECT_DOUBLE_EQ(snap[0].EstimatedWallNs(), 100.0);
+  EXPECT_EQ(profiler.total_evaluations(), 1u);
+}
+
+TEST(GuardProfilerTest, SamplingTimesEveryNthEvaluation) {
+  obs::GuardProfiler profiler(/*sample_every=*/4);
+  obs::GuardProfiler::Site* site =
+      profiler.RegisterSite("d", "e", SourceLocation{});
+  size_t sampled = 0;
+  for (int i = 0; i < 8; ++i) {
+    bool timed = profiler.BeginEvaluation(site);
+    if (timed) ++sampled;
+    profiler.Record(site, 1, 1, /*wall_ns=*/100, timed);
+  }
+  EXPECT_EQ(sampled, 2u);  // evaluations 0 and 4
+  std::vector<obs::GuardSiteStats> snap = profiler.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].evaluations, 8u);
+  EXPECT_EQ(snap[0].sampled_evaluations, 2u);
+  EXPECT_EQ(snap[0].source, "?");  // unknown location, no source file
+  // 2 samples × 100ns each, scaled back up to all 8 evaluations.
+  EXPECT_DOUBLE_EQ(snap[0].EstimatedWallNs(), 800.0);
+}
+
+TEST(GuardProfilerTest, RankingReportsAndCollapsedStacks) {
+  obs::GuardProfiler profiler(/*sample_every=*/1);
+  SourceLocation loc;
+  loc.line = 2;
+  loc.column = 1;
+  obs::GuardProfiler::Site* cold = profiler.RegisterSite("d_cold", "a", loc);
+  obs::GuardProfiler::Site* hot = profiler.RegisterSite("d_hot", "a", loc);
+  profiler.BeginEvaluation(cold);
+  profiler.Record(cold, 1, 1, 10, true);
+  for (int i = 0; i < 3; ++i) {
+    profiler.BeginEvaluation(hot);
+    profiler.Record(hot, 4, 4, 500, true);
+  }
+  std::vector<obs::GuardSiteStats> top = profiler.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].dependency, "d_hot");
+  auto hottest = profiler.HottestFor("a");
+  ASSERT_TRUE(hottest.has_value());
+  EXPECT_EQ(hottest->dependency, "d_hot");
+  EXPECT_FALSE(profiler.HottestFor("zzz").has_value());
+  // The report table carries the source attribution.
+  std::string report = profiler.TopKReport(10);
+  EXPECT_NE(report.find("d_hot"), std::string::npos);
+  EXPECT_NE(report.find("2:1"), std::string::npos);
+  // Collapsed stacks are "source;dependency;event weight" lines weighted
+  // by estimated wall ns, hottest first (flamegraph.pl input).
+  std::string collapsed = profiler.CollapsedStacks();
+  EXPECT_TRUE(StartsWith(collapsed, "2:1;d_hot;a 1500\n")) << collapsed;
+  EXPECT_NE(collapsed.find("2:1;d_cold;a 10\n"), std::string::npos);
 }
 
 // ----------------------------------------------------------- Integration
@@ -365,6 +612,70 @@ TEST(ObsIntegrationTest, ParkedWindowOpensAndClosesAroundDecision) {
             1u);
   EXPECT_GE(w.metrics.histogram("sched.decision_latency_us")->count(), 1u);
   EXPECT_GE(w.metrics.counter("sched.parks")->value(), 1u);
+}
+
+TEST(ObsIntegrationTest, ProfiledSchedulerMatchesUnprofiledRun) {
+  const std::vector<std::string> script = {"s_buy", "c_book", "c_buy"};
+  auto run = [&script](obs::GuardProfiler* profiler) {
+    ObsWorld w;
+    GuardSchedulerOptions sopts;
+    sopts.profiler = profiler;
+    GuardScheduler sched(&w.ctx, w.workflow, w.network.get(), sopts);
+    w.Drive(&sched, script);
+    CDES_CHECK(sched.HistoryConsistent());
+    return TraceToString(sched.history(), *w.ctx.alphabet());
+  };
+  obs::GuardProfiler profiler(/*sample_every=*/1);
+  // The profiled evaluation path (per-contribution reduce, then conjoin)
+  // must decide exactly what the unprofiled path decides.
+  EXPECT_EQ(run(&profiler), run(nullptr));
+  // And the profiler actually saw the run: sites registered at Install,
+  // evaluations recorded at assimilation, attributable to real events.
+  EXPECT_GT(profiler.site_count(), 0u);
+  EXPECT_GT(profiler.total_evaluations(), 0u);
+  auto hottest = profiler.HottestFor("c_buy");
+  ASSERT_TRUE(hottest.has_value());
+  EXPECT_GT(hottest->evaluations, 0u);
+}
+
+TEST(ObsIntegrationTest, MessageFlowsPairSendToAssimilation) {
+  ObsWorld w;
+  GuardSchedulerOptions sopts;
+  sopts.metrics = &w.metrics;
+  sopts.tracer = &w.recorder;
+  sopts.trace_id = 42;
+  GuardScheduler sched(&w.ctx, w.workflow, w.network.get(), sopts);
+  w.Drive(&sched, {"s_buy", "c_book", "c_buy"});
+  ASSERT_TRUE(sched.HistoryConsistent());
+  // Every runtime message carries a fresh span id: its send is a flow
+  // origin and its delivery the matching end, joined on (name, id).
+  std::set<std::pair<std::string, uint64_t>> starts, ends;
+  for (const obs::TraceEvent& e : w.recorder.events()) {
+    if (e.category != obs::SpanCategory::kMessage) continue;
+    if (e.phase == obs::TraceEvent::Phase::kFlowStart) {
+      EXPECT_TRUE(starts.emplace(e.name, e.id).second) << e.name;
+    } else if (e.phase == obs::TraceEvent::Phase::kFlowEnd) {
+      EXPECT_TRUE(ends.emplace(e.name, e.id).second) << e.name;
+    }
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_EQ(starts, ends);
+  // Each delivery also drops an "assimilate <literal>" instant stamped
+  // with the trace id, so per-instance filtering works in the viewer.
+  size_t assimilates = 0;
+  for (const obs::TraceEvent& e : w.recorder.events()) {
+    if (e.phase != obs::TraceEvent::Phase::kInstant ||
+        !StartsWith(e.name, "assimilate ")) {
+      continue;
+    }
+    ++assimilates;
+    bool stamped = false;
+    for (const auto& [key, value] : e.args) {
+      stamped |= key == "trace" && value == "42";
+    }
+    EXPECT_TRUE(stamped) << e.name;
+  }
+  EXPECT_EQ(assimilates, ends.size());
 }
 
 // ---------------------------------------------------------------- Logging
