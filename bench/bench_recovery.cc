@@ -1,12 +1,17 @@
 // Durable-log and recovery costs (§5.1's operation-id logging [7]): append
-// throughput, serialization, and full scheduler recovery by replay, as a
-// function of log length.
+// throughput, serialization, full scheduler recovery by replay as a
+// function of log length, and the headline checkpoint comparison —
+// restoring N in-flight workflow instances from a checkpointed log versus
+// replaying their whole history from genesis.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
+#include "runtime/checkpoint.h"
 #include "runtime/event_log.h"
 
 namespace cdes {
@@ -39,6 +44,155 @@ void PrintRecoverySummary() {
     EventLog log = BuildLog(instances, &text);
     std::printf("%-10zu %-12zu %-14zu\n", instances, log.size(),
                 text.size());
+  }
+  std::printf("\n");
+}
+
+// ---- Checkpointed vs genesis recovery -------------------------------
+//
+// One scheduler world hosting `instances` concurrent pipeline workflows,
+// each a pairwise-chained sequence of kStages events (every hop carries
+// the travel template's d2 shape: e_j may occur only after e_{j-1}). The
+// script drives each instance through e_0..e_{M-2} and leaves the final
+// stage undecided at the crash, so every instance is in flight. Genesis
+// recovery re-parses and re-folds every record since the beginning;
+// checkpointed recovery restores the decided history and the per-actor
+// heard-residual baselines from one checkpoint section and replays
+// nothing. Only the recovery step itself (log load + Recover) is timed —
+// world construction and spec parsing are identical on both sides and
+// excluded.
+
+constexpr size_t kStages = 12;
+
+WorkflowTemplate ChainTemplate(size_t stages) {
+  WorkflowTemplate t("chain", {"oid"});
+  t.AddAgent("proc", 0);
+  t.AddAgent("audit", 1);
+  PTerm oid = PTerm::Var("oid");
+  auto atom = [&](const std::string& name, bool complemented = false) {
+    return PAtom{name, complemented, {oid}};
+  };
+  for (size_t j = 0; j < stages; ++j) {
+    CDES_CHECK(t.AddEvent(atom(StrCat("e_", j)), "proc").ok());
+  }
+  // d_j: ~e_j + e_{j-1}·e_j — the backward-□ form stays live: mid-chain
+  // events never acquire forward ◇-obligations over untriggerable futures.
+  for (size_t j = 1; j < stages; ++j) {
+    CDES_CHECK(t.AddDependency(
+                    StrCat("d_", j),
+                    PExpr::Or({PExpr::Atom(atom(StrCat("e_", j), true)),
+                               PExpr::Seq({PExpr::Atom(atom(StrCat("e_", j - 1))),
+                                           PExpr::Atom(atom(StrCat("e_", j)))})}))
+                   .ok());
+  }
+  return t;
+}
+
+// Stage-major interleaving: all instances take stage j before any takes
+// j+1, like a fleet of pipelines advancing in lockstep.
+std::vector<std::string> ChainScript(size_t instances, size_t stages) {
+  std::vector<std::string> script;
+  script.reserve(instances * (stages - 1));
+  for (size_t j = 0; j + 1 < stages; ++j) {
+    for (size_t i = 0; i < instances; ++i) {
+      script.push_back(StrCat("e_", j, "[", i, "]"));
+    }
+  }
+  return script;
+}
+
+struct RecoveryWorld {
+  RecoveryWorld(size_t instances, EventLog* log) {
+    // Instances are installed one at a time (the §5.1 dynamic-arrival
+    // path): each AddInstance synthesizes guards for its own events only,
+    // so building a 10k-instance world is linear — the monolithic
+    // CompileWorkflow scan over every (symbol, dependency) pair is not.
+    WorkflowTemplate tmpl = ChainTemplate(kStages);
+    NetworkOptions nopts;
+    net = std::make_unique<Network>(&sim, 2, nopts);
+    auto first = tmpl.Instantiate(&ctx, {{"oid", ParamValue{0}}});
+    CDES_CHECK(first.ok());
+    GuardSchedulerOptions options;
+    options.durable_log = log;
+    sched = std::make_unique<GuardScheduler>(&ctx, first.value(), net.get(),
+                                             options);
+    for (size_t i = 1; i < instances; ++i) {
+      auto inst = tmpl.Instantiate(&ctx, {{"oid", static_cast<ParamValue>(i)}});
+      CDES_CHECK(inst.ok());
+      CDES_CHECK(sched->AddInstance(inst.value()).ok());
+    }
+  }
+
+  WorkflowContext ctx;
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<GuardScheduler> sched;
+};
+
+void CheckpointComparisonRow(size_t instances) {
+  using Clock = std::chrono::steady_clock;
+  // Phase 1: drive every instance through all but the last stage,
+  // journaling.
+  EventLog log;
+  auto writer = std::make_unique<RecoveryWorld>(instances, &log);
+  auto drive =
+      bench::DriveScript(&writer->ctx, writer->sched.get(), &writer->sim,
+                         writer->net.get(), ChainScript(instances, kStages));
+  CDES_CHECK(drive.accepted == instances * (kStages - 1))
+      << drive.accepted << " accepted, " << drive.rejected
+      << " rejected — chain workload must stay fully live";
+  const Alphabet& alphabet = *writer->ctx.alphabet();
+  std::string genesis_text = log.Serialize(alphabet);
+  CheckpointState state = writer->sched->Snapshot();
+  EventLog compacted = log;
+  EventLog::CheckpointSection section;
+  section.covered = compacted.total_records();
+  section.last_stamp = compacted.last_stamp();
+  section.payload = SerializeCheckpoint(state, alphabet);
+  compacted.InstallCheckpoint(std::move(section));
+  std::string checkpointed_text = compacted.Serialize(alphabet);
+  size_t records = log.size();
+  writer.reset();
+
+  // Phase 2: time load + Recover into a fresh world, both ways.
+  auto recover_ms = [&](const std::string& text, std::string* history) {
+    RecoveryWorld w(instances, nullptr);
+    Clock::time_point start = Clock::now();
+    auto parsed = EventLog::LoadTolerant(*w.ctx.alphabet(), text);
+    CDES_CHECK(parsed.ok()) << parsed.status();
+    CDES_CHECK(w.sched->Recover(parsed.value()).ok());
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          start)
+                    .count();
+    *history = TraceToString(w.sched->history(), *w.ctx.alphabet());
+    return ms;
+  };
+  std::string genesis_history, checkpointed_history;
+  double genesis_ms = recover_ms(genesis_text, &genesis_history);
+  double checkpointed_ms =
+      recover_ms(checkpointed_text, &checkpointed_history);
+  CDES_CHECK(genesis_history == checkpointed_history)
+      << "checkpointed recovery diverged from genesis replay";
+  double speedup = genesis_ms / checkpointed_ms;
+  std::printf("%-10zu %-10zu %-14.2f %-16.2f %-8.1fx\n", instances, records,
+              genesis_ms, checkpointed_ms, speedup);
+
+  obs::MetricsRegistry& m = bench::BenchMetrics();
+  std::string prefix = StrCat("recovery.", instances, ".");
+  m.gauge(prefix + "instances")->Set(static_cast<double>(instances));
+  m.gauge(prefix + "records")->Set(static_cast<double>(records));
+  m.gauge(prefix + "genesis_ms")->Set(genesis_ms);
+  m.gauge(prefix + "checkpointed_ms")->Set(checkpointed_ms);
+  m.gauge(prefix + "speedup")->Set(speedup);
+}
+
+void PrintCheckpointComparison() {
+  std::printf("==== Checkpointed vs genesis recovery (in-flight instances) "
+              "====\n");
+  std::printf("%-10s %-10s %-14s %-16s %-8s\n", "instances", "records",
+              "genesis ms", "checkpointed ms", "speedup");
+  for (size_t instances : {1000, 10000}) {
+    CheckpointComparisonRow(instances);
   }
   std::printf("\n");
 }
@@ -106,6 +260,7 @@ BENCHMARK(BM_DeserializeLog)->Arg(1)->Arg(8)->Arg(64);
 
 int main(int argc, char** argv) {
   cdes::PrintRecoverySummary();
+  cdes::PrintCheckpointComparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   cdes::bench::ExportBenchMetrics("recovery");

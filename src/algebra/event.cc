@@ -7,7 +7,7 @@ namespace cdes {
 SymbolId Alphabet::Intern(std::string_view name) {
   CDES_CHECK(!name.empty()) << "symbol names must be non-empty";
   CDES_CHECK_NE(name.front(), '~') << "'~' is reserved for complements";
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
@@ -16,7 +16,7 @@ SymbolId Alphabet::Intern(std::string_view name) {
 }
 
 SymbolId Alphabet::Find(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   return it == index_.end() ? kInvalidSymbol : it->second;
 }
 

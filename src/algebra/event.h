@@ -123,8 +123,19 @@ class Alphabet {
   std::vector<EventLiteral> AllLiterals() const;
 
  private:
+  // Heterogeneous lookup: Find/Intern probe with a string_view directly,
+  // with no per-call std::string temporary — ParseLiteral sits on the log
+  // replay and checkpoint-restore hot paths.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, SymbolId> index_;
+  std::unordered_map<std::string, SymbolId, TransparentHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace cdes

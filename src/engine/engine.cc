@@ -1,6 +1,11 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -130,6 +135,12 @@ Engine::Engine(EngineSpecRef spec, const EngineOptions& options)
       options_(options),
       epoch_(std::chrono::steady_clock::now()) {
   if (options_.shards == 0) options_.shards = AutoShards();
+  if (!options_.wal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.wal_dir, ec);
+    CDES_CHECK(!ec) << "cannot create wal_dir '" << options_.wal_dir
+                    << "': " << ec.message();
+  }
   manager_ = std::make_unique<InstanceManager>(
       options_.shards, options_.max_in_flight, options_.tracer);
   shards_.reserve(options_.shards);
@@ -146,6 +157,9 @@ Engine::Engine(EngineSpecRef spec, const EngineOptions& options)
     sopts.auto_trigger = options_.auto_trigger;
     sopts.simplify_guards = options_.simplify_guards;
     sopts.durable_logs = options_.durable_logs;
+    sopts.wal_dir = options_.wal_dir;
+    sopts.checkpoint_every = options_.checkpoint_every;
+    sopts.group_commit_records = options_.group_commit_records;
     sopts.start_paused = options_.start_paused;
     sopts.epoch = epoch_;
     sopts.profiler = options_.profiler;
@@ -190,6 +204,19 @@ Result<uint64_t> Engine::SubmitInternal(InstanceScript script, bool block) {
 
 Status Engine::Recover(const std::vector<std::string>& logs) {
   CDES_CHECK(!stopped_) << "Recover after Stop";
+  // Validate the whole batch before materializing anything: two logs
+  // naming the same instance would otherwise double-submit it onto one
+  // shard (two worlds racing under one id). Deterministic — the check
+  // depends only on the headers, and fires before any side effect.
+  std::set<uint64_t> ids;
+  for (const std::string& text : logs) {
+    Result<uint64_t> id = EventLog::PeekInstance(text);
+    if (!id.ok()) return id.status();
+    if (!ids.insert(id.value()).second) {
+      return Status::InvalidArgument(StrCat(
+          "duplicate instance id ", id.value(), " in recovery logs"));
+    }
+  }
   for (const std::string& text : logs) {
     // Route by the header's instance id: id % shards is stable across
     // restarts, so the log lands on the shard index that owned it.
@@ -208,6 +235,61 @@ Status Engine::Recover(const std::vector<std::string>& logs) {
     shards_[manager_->ShardFor(id.value())]->Push(std::move(cmd));
   }
   return Status::OK();
+}
+
+Status Engine::RecoverDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound(
+        StrCat("cannot list recovery dir '", dir, "': ", ec.message()));
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".log") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  // Directory iteration order is unspecified; sort for a deterministic
+  // submission (and hence error) order.
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> logs;
+  logs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::NotFound(StrCat("cannot read '", path, "'"));
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    logs.push_back(std::move(text).str());
+  }
+  return Recover(logs);
+}
+
+void Engine::Checkpoint() {
+  CDES_CHECK(!stopped_) << "Checkpoint after Stop";
+  for (auto& shard : shards_) {
+    EngineCommand cmd;
+    cmd.kind = EngineCommand::Kind::kCheckpoint;
+    shard->Push(std::move(cmd));
+  }
+}
+
+void Engine::Abort() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (telemetry_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(telemetry_mu_);
+      telemetry_stop_ = true;
+    }
+    telemetry_cv_.notify_all();
+    telemetry_thread_.join();
+  }
+  for (auto& shard : shards_) shard->Abort();
+  for (auto& shard : shards_) shard->Join();
+  stopped_at_us_ = NowUs();
 }
 
 void Engine::Resume() {

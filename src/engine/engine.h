@@ -45,6 +45,21 @@ struct EngineOptions {
   /// Keep one EventLog per instance and return its serialized form in the
   /// InstanceResult, enabling Engine::Recover after a crash.
   bool durable_logs = false;
+  /// When non-empty, every in-flight instance's log is mirrored to
+  /// `<wal_dir>/<id>.log` on disk as it runs (implies durable_logs; the
+  /// directory is created). A crashed engine rebuilds from those files via
+  /// RecoverDir. Completed instances' files are removed — their sealed log
+  /// lives in the InstanceResult.
+  std::string wal_dir;
+  /// Checkpoint + compact an instance's on-disk log once its record suffix
+  /// reaches this many records (at the instance's next quiescent turn).
+  /// 0 = only on explicit Checkpoint(). Needs wal_dir.
+  size_t checkpoint_every = 0;
+  /// Group commit: WAL appends buffer across a shard's residents and hit
+  /// the filesystem once this many lines accumulate (or at a barrier —
+  /// checkpoint, instance completion, shard idle, stop). 1 = write-through
+  /// on every record. Needs wal_dir.
+  size_t group_commit_records = 1;
   /// Construct paused: submissions queue but no shard consumes until
   /// Resume(). Deterministic admission tests; bench preloading.
   bool start_paused = false;
@@ -149,10 +164,32 @@ class Engine {
   /// Rebuilds one in-flight instance per serialized EventLog (produced by
   /// a durable_logs run — see InstanceResult::log_text), routes it to the
   /// shard that owned it, and drives it to a maximal trace. Torn tails
-  /// (crash mid-append) lose only their final record. Returns the first
-  /// routing error; per-instance failures surface in that instance's
-  /// result instead.
+  /// (crash mid-append) lose only their final record; a v3 checkpoint
+  /// section restores the covered prefix without replay. Two logs naming
+  /// the same instance id are rejected up front (InvalidArgument) before
+  /// any instance materializes — a double-submit would run the instance
+  /// twice on its shard. Returns the first routing error; per-instance
+  /// failures surface in that instance's result instead.
   Status Recover(const std::vector<std::string>& logs);
+
+  /// Recover(every `*.log` file under `dir`), in sorted filename order —
+  /// the restart path for a wal_dir engine: point the new engine at the
+  /// dead one's directory.
+  Status RecoverDir(const std::string& dir);
+
+  /// Asks every shard to checkpoint + compact each resident instance at
+  /// its next quiescent turn (wal_dir engines; otherwise a no-op). Returns
+  /// immediately — checkpoints land as the shards reach quiescence.
+  void Checkpoint();
+
+  /// Simulated kill −9 for crash testing: worker threads exit at their
+  /// next turn boundary without finishing residents, flushing group-commit
+  /// buffers, or reporting results; in-flight instances stay unreported.
+  /// The engine is dead afterwards (like Stop, but nothing is drained or
+  /// sealed). The wal_dir files left behind are exactly what a real crash
+  /// would leave, minus unflushed buffers — feed them to a new engine's
+  /// RecoverDir.
+  void Abort();
 
   /// Lifts start_paused: queued submissions begin executing.
   void Resume();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "runtime/checkpoint.h"
 #include "runtime/event_log.h"
 
 namespace cdes::engine {
@@ -55,6 +56,11 @@ void Shard::Join() {
   if (thread_.joinable()) thread_.join();
 }
 
+void Shard::Abort() {
+  abort_.store(true, std::memory_order_relaxed);
+  cv_.notify_one();
+}
+
 uint64_t Shard::NowUs() const {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -73,17 +79,30 @@ void Shard::ThreadMain() {
   CompileOptions copts;
   copts.simplify = options_.simplify_guards;
   compiled_ = CompileWorkflowShared(ctx_.get(), workflow_.spec, copts);
+  if (!options_.wal_dir.empty()) {
+    WalOptions wopts;
+    wopts.dir = options_.wal_dir;
+    wopts.group_commit_records = options_.group_commit_records;
+    wal_ = std::make_unique<ShardWal>(wopts);
+  }
 
   std::vector<std::unique_ptr<Resident>> active;
   bool stopping = false;
   while (true) {
+    if (abort_.load(std::memory_order_relaxed)) return;  // simulated kill
     {
       std::unique_lock<std::mutex> lock(mu_);
       // Idle shard: block until work arrives (or a pause lifts). A shard
       // with resident instances never blocks — it polls the mailbox
-      // between turns.
+      // between turns. Going idle is a group-commit barrier: nothing else
+      // would flush the buffered tail while we sleep.
       if (active.empty() && !stopping) {
-        cv_.wait(lock, [this] { return !paused_ && !queue_.empty(); });
+        if (wal_ != nullptr) wal_->FlushAll();
+        cv_.wait(lock, [this] {
+          return abort_.load(std::memory_order_relaxed) ||
+                 (!paused_ && !queue_.empty());
+        });
+        if (abort_.load(std::memory_order_relaxed)) return;
       }
       while (!paused_ && !queue_.empty() &&
              active.size() < options_.max_resident) {
@@ -93,6 +112,12 @@ void Shard::ThreadMain() {
         if (cmd.kind == EngineCommand::Kind::kStop) {
           stopping = true;
           break;
+        }
+        if (cmd.kind == EngineCommand::Kind::kCheckpoint) {
+          // Checkpoints happen at quiescent turns; mark every resident so
+          // each takes one at its next opportunity.
+          for (auto& r : active) r->force_checkpoint = true;
+          continue;
         }
         lock.unlock();  // world construction happens outside the mailbox
         active.push_back(AdmitInstance(std::move(cmd)));
@@ -106,6 +131,7 @@ void Shard::ThreadMain() {
     }
     // One cooperative turn per resident instance, in admission order.
     for (auto it = active.begin(); it != active.end();) {
+      if (abort_.load(std::memory_order_relaxed)) return;
       if (StepInstance(**it)) {
         Finish(**it);
         it = active.erase(it);
@@ -115,6 +141,9 @@ void Shard::ThreadMain() {
       }
     }
   }
+  // Stop barrier: whatever group commit still holds goes to disk before
+  // the worker exits.
+  if (wal_ != nullptr) wal_->FlushAll();
 }
 
 std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
@@ -144,7 +173,7 @@ std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
   // Flow / trace correlation: messages inside this instance's world carry
   // the instance id as their trace id.
   sopts.trace_id = cmd.id;
-  if (options_.durable_logs) {
+  if (options_.durable_logs || wal_ != nullptr) {
     r->log = std::make_unique<EventLog>();
     r->log->set_instance(cmd.id);
     sopts.durable_log = r->log.get();
@@ -154,7 +183,9 @@ std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
 
   if (cmd.kind == EngineCommand::Kind::kRecover) {
     // Rebuild pre-crash state from the serialized log. LoadTolerant is the
-    // point: a log torn by a crash mid-append loses only its final record.
+    // point: a log torn by a crash mid-append loses only its final record
+    // (or a checkpoint section torn at EOF, which its covered records
+    // replace).
     r->phase = Resident::Phase::kClosing;
     auto log = EventLog::LoadTolerant(*ctx_->alphabet(), cmd.log_text);
     if (!log.ok()) {
@@ -170,17 +201,26 @@ std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
       return r;
     }
     if (r->log != nullptr) {
-      // Seed the new durable log with the recovered prefix so a second
-      // crash still has the full history.
-      for (const EventLog::Record& rec : log.value().records()) {
-        r->log->Append(rec);
-      }
+      // Seed the new durable log with the recovered image — checkpoint
+      // section and suffix records both — so a second crash still has the
+      // full story. The scheduler's durable_log pointer is stable across
+      // this assignment.
+      *r->log = log.value();
+      r->log->set_instance(cmd.id);
+      r->wal_seen = r->log->records().size();
     }
-    if (!log.value().records().empty()) {
+    if (log.value().total_records() > 0) {
       // Resume the instance clock at the crash point so post-recovery
       // stamps stay monotone with the recovered prefix.
-      r->sim.RunUntil(log.value().records().back().stamp.time);
+      r->sim.RunUntil(log.value().last_stamp().time);
     }
+  }
+  if (wal_ != nullptr && r->log != nullptr &&
+      r->phase != Resident::Phase::kDone) {
+    // The WAL file exists from the first moment the instance might write
+    // records; on recovery it is rebuilt as the recovered image (the old
+    // file may have had a torn tail or belong to a pre-compaction state).
+    wal_->Create(r->id, r->log->SerializeOpen(*ctx_->alphabet()));
   }
   return r;
 }
@@ -189,9 +229,13 @@ bool Shard::StepInstance(Resident& r) {
   if (r.sim.pending() > 0) {
     sim_steps_.fetch_add(r.sim.Run(options_.step_batch),
                          std::memory_order_relaxed);
+    SyncWal(r);  // records the batch just produced, on group-commit terms
     if (r.sim.pending() > 0) return false;  // yield; more next turn
   }
-  // The instance world is quiescent: advance the script state machine.
+  // The instance world is quiescent — the only cut where a checkpoint is
+  // consistent (no announcement is in flight between actors).
+  MaybeCheckpoint(r);
+  // Advance the script state machine.
   switch (r.phase) {
     case Resident::Phase::kScript: {
       if (r.pos < r.script.attempts.size()) {
@@ -231,6 +275,61 @@ bool Shard::StepInstance(Resident& r) {
   return true;
 }
 
+void Shard::SyncWal(Resident& r) {
+  if (wal_ == nullptr || r.log == nullptr) return;
+  const std::vector<EventLog::Record>& records = r.log->records();
+  CDES_CHECK(r.wal_seen <= records.size());
+  for (size_t i = r.wal_seen; i < records.size(); ++i) {
+    wal_->Append(r.id, EventLog::RecordLine(records[i], *ctx_->alphabet()));
+    metrics_.counter("engine.wal.records")->Increment();
+  }
+  r.wal_seen = records.size();
+  if (wal_->ShouldFlush()) {
+    // Group commit: one filesystem pass covers every resident's buffered
+    // appends, not just this instance's.
+    wal_->FlushAll();
+    metrics_.counter("engine.wal.group_commits")->Increment();
+  }
+}
+
+void Shard::MaybeCheckpoint(Resident& r) {
+  if (wal_ == nullptr || r.log == nullptr || r.sched == nullptr) return;
+  if (r.phase == Resident::Phase::kDone || !r.result.error.empty()) return;
+  bool due = r.force_checkpoint ||
+             (options_.checkpoint_every > 0 &&
+              r.log->records().size() >= options_.checkpoint_every);
+  r.force_checkpoint = false;
+  if (!due || r.log->records().empty()) return;
+  // Phase 1 — durable checkpoint: covered records first, then the section
+  // appended behind them, flushed as one barrier. A crash after this
+  // leaves prefix + checkpoint in the file; recovery takes the checkpoint
+  // (last intact one wins) and the prefix is dead weight.
+  SyncWal(r);
+  EventLog::CheckpointSection section;
+  section.covered = r.log->total_records();
+  section.last_stamp = r.log->last_stamp();
+  section.payload =
+      SerializeCheckpoint(r.sched->Snapshot(), *ctx_->alphabet());
+  wal_->Append(r.id, EventLog::SectionText(section));
+  if (Status flushed = wal_->Flush(r.id); !flushed.ok()) {
+    metrics_.counter("engine.wal.errors")->Increment();
+    return;  // no compaction without a durable checkpoint
+  }
+  // Phase 2 — compact: install in memory, then atomically rewrite the file
+  // as header + checkpoint + empty suffix. rename(2) makes the rewrite
+  // all-or-nothing; a crash between the phases is exactly the state
+  // phase 1 made durable.
+  r.log->InstallCheckpoint(std::move(section));
+  r.wal_seen = 0;
+  if (Status rewrote =
+          wal_->Rewrite(r.id, r.log->SerializeOpen(*ctx_->alphabet()));
+      !rewrote.ok()) {
+    metrics_.counter("engine.wal.errors")->Increment();
+    return;  // in-memory state is still coherent; the file keeps phase 1
+  }
+  metrics_.counter("engine.checkpoints")->Increment();
+}
+
 void Shard::Finish(Resident& r) {
   if (r.result.error.empty()) {
     r.result.events = r.sched->history().size();
@@ -243,6 +342,12 @@ void Shard::Finish(Resident& r) {
     if (r.log != nullptr) {
       r.result.log_text = r.log->Serialize(*ctx_->alphabet());
     }
+  }
+  if (wal_ != nullptr && r.log != nullptr) {
+    // The instance is complete: its durable record is the sealed log in
+    // the result, and the in-flight WAL file (plus any buffered tail)
+    // retires with it — RecoverDir must only resurrect unfinished work.
+    wal_->Remove(r.id);
   }
   events_.fetch_add(r.result.events, std::memory_order_relaxed);
   instances_completed_.fetch_add(1, std::memory_order_relaxed);

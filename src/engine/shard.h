@@ -12,6 +12,7 @@
 
 #include "engine/engine_spec.h"
 #include "engine/instance.h"
+#include "engine/wal.h"
 #include "guards/context.h"
 #include "guards/workflow.h"
 #include "obs/obs.h"
@@ -46,6 +47,18 @@ struct ShardOptions {
   /// Keep a per-instance EventLog and ship its serialized form in the
   /// result (enables Engine::Recover).
   bool durable_logs = false;
+  /// When non-empty, mirror every resident instance's log to
+  /// `<wal_dir>/<id>.log` as it runs (implies durable_logs): the on-disk
+  /// WAL a crashed engine recovers from via Engine::RecoverDir.
+  std::string wal_dir;
+  /// Checkpoint + compact an instance's WAL once its record suffix reaches
+  /// this many records (at the instance's next quiescent turn). 0 = only
+  /// on explicit Engine::Checkpoint().
+  size_t checkpoint_every = 0;
+  /// Group commit: WAL appends buffer across residents and reach the
+  /// filesystem once this many lines accumulated (or at a barrier:
+  /// checkpoint, completion, idle, stop). 1 = write-through.
+  size_t group_commit_records = 1;
   /// Start with the mailbox paused: commands queue but nothing runs until
   /// Resume() (deterministic backpressure tests, bench preloading).
   bool start_paused = false;
@@ -93,6 +106,11 @@ class Shard {
   void Resume();
   /// Waits for the worker to finish (it exits after draining a kStop).
   void Join();
+  /// Simulated kill −9 (any thread): the worker exits at its next check
+  /// without finishing residents, flushing WAL buffers, or reporting
+  /// results — on-disk WAL files keep only what group commit already
+  /// flushed. Join() afterwards; the shard is then dead. Test/chaos hook.
+  void Abort();
 
   // ---- Cross-thread introspection (atomics) ----
   size_t queue_depth() const { return queue_depth_.load(std::memory_order_relaxed); }
@@ -120,6 +138,12 @@ class Shard {
     size_t pos = 0;
     enum class Phase { kScript, kClosing, kDone } phase = Phase::kScript;
     size_t close_rounds = 0;
+    /// Log records already pushed to the WAL buffer (index into
+    /// log->records(); resets to 0 when a checkpoint clears the suffix).
+    size_t wal_seen = 0;
+    /// Checkpoint at the next quiescent turn regardless of policy
+    /// (Engine::Checkpoint / kCheckpoint command).
+    bool force_checkpoint = false;
     Simulator sim;
     std::unique_ptr<Network> net;
     std::unique_ptr<EventLog> log;
@@ -134,6 +158,16 @@ class Shard {
   bool StepInstance(Resident& r);
   /// Seals the result and reports it to the InstanceManager.
   void Finish(Resident& r);
+  /// Pushes new log records to the WAL buffer; flushes on the group-commit
+  /// threshold.
+  void SyncWal(Resident& r);
+  /// At quiescence: checkpoint + compact the instance's log and WAL file
+  /// when the policy (or a forced checkpoint) says so. Two durable phases:
+  /// (1) covered records + checkpoint section appended and flushed — a
+  /// crash after this recovers from the checkpoint even though the prefix
+  /// is still in the file; (2) atomic rewrite of the file as header +
+  /// checkpoint + empty suffix.
+  void MaybeCheckpoint(Resident& r);
   uint64_t NowUs() const;
 
   const EngineSpecRef spec_;
@@ -144,6 +178,7 @@ class Shard {
   std::unique_ptr<WorkflowContext> ctx_;
   ParsedWorkflow workflow_;
   CompiledWorkflowRef compiled_;
+  std::unique_ptr<ShardWal> wal_;
   obs::MetricsRegistry metrics_;
 
   // ---- Mailbox ----
@@ -151,6 +186,8 @@ class Shard {
   std::condition_variable cv_;
   std::deque<EngineCommand> queue_;
   bool paused_ = false;
+  /// Simulated crash switch (Abort()); checked between cooperative turns.
+  std::atomic<bool> abort_{false};
 
   // ---- Cross-thread counters ----
   std::atomic<size_t> queue_depth_{0};

@@ -1,0 +1,108 @@
+#ifndef CDES_RUNTIME_CHECKPOINT_H_
+#define CDES_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/event.h"
+#include "algebra/expr.h"
+#include "runtime/messages.h"
+#include "runtime/reliable_transport.h"
+#include "temporal/guard.h"
+
+namespace cdes {
+
+/// Baseline guards of one still-undecided event actor at checkpoint time:
+/// the compiled guards folded by everything the actor has *heard* (its
+/// stamp-ordered announcement knowledge). Because residuation is a left
+/// fold, replaying the covered records from genesis would land on exactly
+/// these guards — so a recovered actor can start from them and fold only
+/// the log suffix. Soft state (promises received, parked attempts, trigger
+/// obligations) is deliberately not captured: it is re-derived by the
+/// post-recovery protocol exactly as the genesis-replay path re-derives it.
+struct ActorCheckpoint {
+  SymbolId symbol = kInvalidSymbol;
+  const Guard* positive = nullptr;
+  const Guard* negative = nullptr;
+};
+
+/// Everything GuardScheduler::Recover needs in place of the covered record
+/// prefix: the decided history (for HistoryConsistent and duplicate-decision
+/// checks), the occurrence-stamp sequence counter, the instance clock, the
+/// heard-residual baselines of actors whose guards have moved, and the
+/// reliable-transport watermarks. Taken only at instance quiescence, where
+/// no announcement is in flight — mid-flight cuts would snapshot one actor
+/// pre-hearing and another post-hearing with nobody left to re-announce.
+struct CheckpointState {
+  uint64_t next_seq = 0;
+  SimTime clock = 0;
+  /// Decided literals in stamp order (the trace so far).
+  std::vector<EventLiteral> history;
+  /// Baselines for undecided actors whose residual differs from the
+  /// compiled guard (hash-consing makes that a pointer comparison; actors
+  /// that heard nothing relevant are omitted and keep the compiled table).
+  std::vector<ActorCheckpoint> actors;
+  std::vector<TransportChannelState> channels;
+};
+
+/// Renders a guard as a round-trippable s-expression over interned literal
+/// names, e.g. `(and (box s_buy) (dia (seq c_buy c_book)))`. Atoms `^GT` /
+/// `^GF` are ⊤ / 0 (the '^' prefix cannot collide with event names, which
+/// may not start with '~' and are interned before parsing).
+std::string GuardToSexpr(const Guard* g, const Alphabet& alphabet);
+
+/// Parses GuardToSexpr output back into `guards`' hash-consed DAG. Arena
+/// canonicalization makes the round trip exact: serializing a canonical
+/// node and re-parsing it re-interns the identical structure.
+Result<const Guard*> GuardFromSexpr(GuardArena* guards,
+                                    const Alphabet& alphabet,
+                                    std::string_view text);
+
+/// Expression counterparts (`^T` / `^0` constants, bare literals as atoms).
+std::string ExprToSexpr(const Expr* e, const Alphabet& alphabet);
+Result<const Expr*> ExprFromSexpr(ExprArena* exprs, const Alphabet& alphabet,
+                                  std::string_view text);
+
+/// FNV-1a over the first `count` interned names of `alphabet`, each framed
+/// by a NUL byte (names cannot contain NUL). Stamped into every checkpoint
+/// payload so id-encoded literals are only ever decoded against the same
+/// symbol numbering that produced them.
+uint64_t AlphabetFingerprint(const Alphabet& alphabet, size_t count);
+
+/// Serializes a checkpoint into the opaque payload of an
+/// EventLog::CheckpointSection: '\n'-separated lines, no trailing newline.
+/// The meta line comes first; history literals and actor symbols are
+/// encoded by numeric SymbolId (`<id>` / `~<id>`) — recovery re-parses the
+/// workflow spec before loading logs, so the recovering alphabet assigns
+/// the same ids in the same order, and the meta line's symbol count +
+/// fingerprint prove it before any id is trusted.
+///
+///   meta <next_seq> <clock> <nsymbols> <alphabet-fp>
+///   hist <id | ~id>...                 (always present; possibly bare)
+///   chan <src> <dst> <send_next> <recv_contiguous> <gapped>...
+///   actor <id>
+///   pos <guard-sexpr>
+///   neg <guard-sexpr>
+///
+/// Guard s-expressions stay name-based: they are tiny next to the history
+/// and their round trip is exercised (and debugged) as text.
+///
+/// Deterministic for a given state: actors and channels are emitted in the
+/// (sorted) order CheckpointState carries them.
+std::string SerializeCheckpoint(const CheckpointState& state,
+                                const Alphabet& alphabet);
+
+/// Parses a SerializeCheckpoint payload, re-interning guards into `guards`.
+/// All symbols must already be in `alphabet` (recovery re-parses the
+/// workflow spec before loading logs); the payload's own symbol count and
+/// fingerprint are checked against `alphabet` first, so a checkpoint taken
+/// under a different numbering fails loudly instead of decoding garbage.
+Result<CheckpointState> ParseCheckpoint(GuardArena* guards,
+                                        const Alphabet& alphabet,
+                                        std::string_view payload);
+
+}  // namespace cdes
+
+#endif  // CDES_RUNTIME_CHECKPOINT_H_

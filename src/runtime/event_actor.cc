@@ -268,6 +268,25 @@ void EventActor::RestoreOccurrence(EventLiteral literal) {
   decided_ = literal;
 }
 
+const Guard* EventActor::HeardResidual(EventLiteral literal) const {
+  const Guard* g = CompiledGuard(literal);
+  for (const auto& [stamp, occurred] : heard_) {
+    g = ReduceGuard(host_->guard_arena(), host_->residuator(), g,
+                    {AnnouncementKind::kOccurred, occurred});
+  }
+  return g;
+}
+
+void EventActor::RestoreBaseline(const Guard* positive, const Guard* negative) {
+  CDES_CHECK(!decided_ && heard_.empty() && parked_.empty())
+      << "baseline restore requires a fresh actor";
+  positive_guard_ = positive;
+  negative_guard_ = negative;
+  // Profiler contributions decompose the *compiled* guards; against a
+  // checkpointed baseline they would re-conjoin to the wrong guard.
+  profile_ = nullptr;
+}
+
 void EventActor::Receive(const RuntimeMessage& msg) {
   switch (msg.kind) {
     case RuntimeMessageKind::kAnnounce: {

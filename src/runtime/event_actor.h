@@ -108,6 +108,22 @@ class EventActor {
   /// The literal's guard reduced by everything this actor knows.
   const Guard* CurrentGuard(EventLiteral literal) const;
 
+  /// The compiled guard folded by heard announcements only — no promises,
+  /// no ◇-discharge. This is the durable portion of the actor's knowledge:
+  /// announcements are logged occurrences, while promises and parked
+  /// attempts are soft state the post-recovery protocol re-derives. A
+  /// checkpoint snapshots exactly these residuals (runtime/checkpoint.h);
+  /// because residuation is a left fold, folding the heard prefix here and
+  /// the replayed suffix after recovery equals folding the whole history.
+  const Guard* HeardResidual(EventLiteral literal) const;
+
+  /// Recovery: replaces the compiled baseline guards with checkpoint
+  /// residuals. Only valid on a fresh actor (nothing decided, heard, or
+  /// parked); detaches any profiler attachment, whose per-dependency
+  /// contributions conjoin to the *compiled* guards and would misattribute
+  /// against a checkpointed baseline.
+  void RestoreBaseline(const Guard* positive, const Guard* negative);
+
   /// Whether a reduced guard licenses occurrence *now*: ¬ℓ atoms count as
   /// true while ℓ is unheard (the event has not yet occurred), whereas
   /// □/◇ atoms require positive knowledge (an announcement or a promise).

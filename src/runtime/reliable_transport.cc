@@ -113,6 +113,47 @@ void ReliableTransport::OnData(const MessageId& id) {
   acks_->Increment();
 }
 
+std::vector<TransportChannelState> ReliableTransport::SnapshotChannels() const {
+  CDES_CHECK(pending_.empty())
+      << "transport snapshot requires quiescence; " << pending_.size()
+      << " frames still in flight";
+  // Union of the channels either side has touched; std::map keeps the
+  // result sorted by (src, dst), so the snapshot is deterministic.
+  std::map<std::pair<int, int>, TransportChannelState> channels;
+  for (const auto& [key, next] : next_seq_) {
+    TransportChannelState& c = channels[key];
+    c.src = key.first;
+    c.dst = key.second;
+    c.send_next = next;
+  }
+  for (const auto& [key, seen] : seen_) {
+    TransportChannelState& c = channels[key];
+    c.src = key.first;
+    c.dst = key.second;
+    c.recv_contiguous = seen.contiguous;
+    c.recv_gapped.assign(seen.gapped.begin(), seen.gapped.end());
+  }
+  std::vector<TransportChannelState> out;
+  out.reserve(channels.size());
+  for (auto& [key, state] : channels) out.push_back(std::move(state));
+  return out;
+}
+
+void ReliableTransport::RestoreChannels(
+    const std::vector<TransportChannelState>& channels) {
+  CDES_CHECK(next_seq_.empty() && seen_.empty() && pending_.empty())
+      << "channel restore requires a fresh transport";
+  for (const TransportChannelState& c : channels) {
+    std::pair<int, int> key{c.src, c.dst};
+    if (c.send_next > 0) next_seq_[key] = c.send_next;
+    if (c.recv_contiguous > 0 || !c.recv_gapped.empty()) {
+      SeenIds& seen = seen_[key];
+      seen.contiguous = c.recv_contiguous;
+      seen.gapped.insert(c.recv_gapped.begin(), c.recv_gapped.end());
+    }
+  }
+}
+
 void ReliableTransport::OnAck(const MessageId& id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;  // duplicate or late ack

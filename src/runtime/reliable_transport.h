@@ -4,12 +4,34 @@
 #include <map>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "obs/obs.h"
 #include "runtime/messages.h"
 #include "sim/network.h"
 
 namespace cdes {
+
+/// Durable image of one directed channel's exactly-once bookkeeping: the
+/// sender's next sequence number and the receiver's delivered-id set
+/// (watermark + gapped seqs). Snapshotted into checkpoints so a recovered
+/// scheduler keeps suppressing duplicates of frames delivered before the
+/// crash instead of replaying them. In-flight frames are deliberately NOT
+/// part of the image — checkpoints are taken at instance quiescence, where
+/// nothing is pending.
+struct TransportChannelState {
+  int src = 0;
+  int dst = 0;
+  /// Sender side: seq the next frame on this channel will carry.
+  uint64_t send_next = 0;
+  /// Receiver side: every seq < recv_contiguous was delivered ...
+  uint64_t recv_contiguous = 0;
+  /// ... plus these delivered seqs above the watermark (sorted).
+  std::vector<uint64_t> recv_gapped;
+
+  friend bool operator==(const TransportChannelState&,
+                         const TransportChannelState&) = default;
+};
 
 struct ReliableTransportOptions {
   /// First retransmission fires this long after a send. 0 ⇒ derived from
@@ -66,6 +88,15 @@ class ReliableTransport {
   /// destination exactly once (unless retransmissions are capped and
   /// exhausted), regardless of transport loss or duplication.
   void Send(int src, int dst, size_t bytes, Simulator::Callback deliver);
+
+  /// Serializes the per-channel watermark state for a checkpoint, sorted by
+  /// (src, dst). Requires quiescence (no frames in flight): pending frames
+  /// are soft state a checkpoint must not capture.
+  std::vector<TransportChannelState> SnapshotChannels() const;
+
+  /// Restores a SnapshotChannels image into a freshly built transport
+  /// (nothing sent or delivered yet).
+  void RestoreChannels(const std::vector<TransportChannelState>& channels);
 
   /// Payload frames still awaiting an ack.
   size_t in_flight() const { return pending_.size(); }

@@ -135,6 +135,8 @@ Status GuardScheduler::Install(const CompiledWorkflow& compiled,
     actors_[symbol] = std::make_unique<EventActor>(
         this, symbol, site, compiled.GuardFor(pos), compiled.GuardFor(neg_lit),
         attrs, negative, &actor_obs_);
+    if (actor_index_.size() <= symbol) actor_index_.resize(symbol + 1, nullptr);
+    actor_index_[symbol] = actors_[symbol].get();
     if (options_.profiler != nullptr) {
       // Split the compiled conjunction back into its per-dependency
       // contributions, each registered (deduplicated profiler-wide) as a
@@ -464,33 +466,119 @@ Status GuardScheduler::Recover(const EventLog& log) {
   if (tracer_ != nullptr) {
     tracer_->Complete(obs::SpanCategory::kRecovery, "recovery replay",
                       network_->sim()->now(), 0, 0, 0,
-                      {{"records", StrCat(log.records().size())}});
+                      {{"records", StrCat(log.records().size())},
+                       {"checkpointed",
+                        log.checkpoint() != nullptr ? "1" : "0"}});
+  }
+  // Pass 0: when the log is compacted behind a checkpoint, its payload
+  // stands in for replaying the covered prefix — restore the decided
+  // history, the per-actor heard-residual baselines, the stamp sequence,
+  // and the transport watermarks directly.
+  if (log.checkpoint() != nullptr) {
+    auto parsed = ParseCheckpoint(ctx_->guards(), *ctx_->alphabet(),
+                                  log.checkpoint()->payload);
+    if (!parsed.ok()) return parsed.status();
+    const CheckpointState& state = parsed.value();
+    metrics_->counter("sched.recovered_from_checkpoint")->Increment();
+    for (EventLiteral literal : state.history) {
+      EventActor* actor = FindActor(literal.symbol());
+      if (actor == nullptr) {
+        return Status::InvalidArgument(
+            "checkpoint mentions an event outside this workflow");
+      }
+      if (actor->decided()) {
+        return Status::InvalidArgument(
+            StrCat("checkpoint decides symbol '",
+                   ctx_->alphabet()->Name(literal.symbol()), "' twice"));
+      }
+      actor->RestoreOccurrence(literal);
+      history_.push_back(literal);
+    }
+    for (const ActorCheckpoint& baseline : state.actors) {
+      EventActor* actor = FindActor(baseline.symbol);
+      if (actor == nullptr) {
+        return Status::InvalidArgument(
+            "checkpoint names an actor outside this workflow");
+      }
+      if (actor->decided()) {
+        return Status::InvalidArgument(
+            StrCat("checkpoint carries a baseline for decided symbol '",
+                   ctx_->alphabet()->Name(baseline.symbol), "'"));
+      }
+      actor->RestoreBaseline(baseline.positive, baseline.negative);
+    }
+    if (state.next_seq > next_seq_) next_seq_ = state.next_seq;
+    transport_->RestoreChannels(state.channels);
   }
   // Pass 1: restore decisions and the history, and advance the stamp
   // sequence past everything logged.
   for (const EventLog::Record& record : log.records()) {
-    auto it = actors_.find(record.literal.symbol());
-    if (it == actors_.end()) {
+    EventActor* actor = FindActor(record.literal.symbol());
+    if (actor == nullptr) {
       return Status::InvalidArgument(
           "log mentions an event outside this workflow");
     }
-    it->second->RestoreOccurrence(record.literal);
+    if (actor->decided()) {
+      // Corrupt or foreign input: a symbol decides at most once, so a
+      // well-formed log (or checkpoint + suffix) never repeats one. A
+      // Status, not a CHECK — log bytes are untrusted.
+      return Status::InvalidArgument(
+          StrCat("log decides symbol '",
+                 ctx_->alphabet()->Name(record.literal.symbol()),
+                 "' twice"));
+    }
+    actor->RestoreOccurrence(record.literal);
     history_.push_back(record.literal);
     if (record.stamp.seq >= next_seq_) next_seq_ = record.stamp.seq + 1;
   }
-  // Pass 2: replay announcements synchronously, in stamp order, so every
-  // actor's knowledge (and hence reduced guards) matches the pre-crash
-  // state. No parked attempts exist yet, so nothing can fire.
+  // Pass 2: replay suffix announcements synchronously, in stamp order, so
+  // every actor's knowledge (and hence reduced guards) matches the
+  // pre-crash state. Actors restored from checkpoint baselines fold the
+  // suffix on top of them — residuation is a left fold, so baseline +
+  // suffix equals folding the full history. No parked attempts exist yet,
+  // so nothing can fire.
   for (const EventLog::Record& record : log.records()) {
     auto sub = subscribers_.find(record.literal.symbol());
     if (sub == subscribers_.end()) continue;
     RuntimeMessage announce{RuntimeMessageKind::kAnnounce, record.literal,
                             record.stamp, EventLiteral(), {}, nullptr, {}};
     for (SymbolId target : sub->second) {
-      actors_.at(target)->Receive(announce);
+      actor_index_[target]->Receive(announce);
     }
   }
   return Status::OK();
+}
+
+CheckpointState GuardScheduler::Snapshot() const {
+  // Quiescence is the correctness boundary, not a convenience: an
+  // announcement still in flight would be inside neither the snapshot's
+  // baselines nor the post-checkpoint log suffix, and nobody re-announces
+  // covered occurrences after recovery.
+  CDES_CHECK(network_->sim()->pending() == 0)
+      << "checkpoints require a quiescent instance";
+  CheckpointState state;
+  state.next_seq = next_seq_;
+  state.clock = network_->sim()->now();
+  state.history = history_;
+  for (const auto& [symbol, actor] : actors_) {
+    if (actor->decided()) continue;
+    EventLiteral positive = EventLiteral::Positive(symbol);
+    EventLiteral negative = EventLiteral::Complement(symbol);
+    const Guard* heard_positive = actor->HeardResidual(positive);
+    const Guard* heard_negative = actor->HeardResidual(negative);
+    // Hash-consing makes "has this actor's knowledge moved its guards?" a
+    // pointer comparison; untouched actors are omitted and recovery leaves
+    // them on the compiled table.
+    auto cp = compiled_guards_.find(positive);
+    auto cn = compiled_guards_.find(negative);
+    if (cp != compiled_guards_.end() && cp->second == heard_positive &&
+        cn != compiled_guards_.end() && cn->second == heard_negative) {
+      continue;
+    }
+    state.actors.push_back({symbol, heard_positive, heard_negative});
+  }
+  state.channels = transport_->SnapshotChannels();
+  return state;
 }
 
 bool GuardScheduler::MayTrigger(EventLiteral literal) const {

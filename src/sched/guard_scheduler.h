@@ -10,6 +10,7 @@
 #include "guards/workflow.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
+#include "runtime/checkpoint.h"
 #include "runtime/event_actor.h"
 #include "runtime/event_log.h"
 #include "runtime/reliable_transport.h"
@@ -164,11 +165,26 @@ class GuardScheduler : public Scheduler, public ActorHost {
   /// Rebuilds state from a durable log written by a previous (crashed)
   /// scheduler over the same workflow: decided events, per-actor
   /// knowledge, reduced guards, and the history are reconstructed exactly.
-  /// Promises and trigger obligations are soft state: they are not logged
-  /// and are re-derived on demand (a parked attempt re-emits its promise
-  /// requests). Must be called on a freshly constructed scheduler, before
-  /// any attempts.
+  /// A v3 log's checkpoint section, when present, stands in for the record
+  /// prefix it covers — its payload restores the history, stamp sequence,
+  /// per-actor heard-residual baselines, and transport watermarks directly,
+  /// and only the suffix records are replayed. Promises and trigger
+  /// obligations are soft state: they are not logged and are re-derived on
+  /// demand (a parked attempt re-emits its promise requests). Must be
+  /// called on a freshly constructed scheduler, before any attempts.
   Status Recover(const EventLog& log);
+
+  /// Captures the durable portion of the live state as a checkpoint:
+  /// history, stamp sequence, instance clock, heard-residual baselines of
+  /// undecided actors whose guards have moved off the compiled table
+  /// (pointer comparison — arenas hash-cons), and transport watermarks.
+  /// Requires quiescence (no simulator events or transport frames in
+  /// flight): a cut taken mid-announcement would capture one actor before
+  /// hearing an occurrence that nobody will re-announce after recovery.
+  /// Feeding the result through SerializeCheckpoint / EventLog's v3
+  /// checkpoint section and back through Recover reproduces this
+  /// scheduler's reduced guards exactly.
+  CheckpointState Snapshot() const;
   /// True iff the history satisfies every dependency "so far" (no
   /// dependency residual is 0); with `maximal`, requires full satisfaction.
   bool HistoryConsistent(bool require_satisfaction = false) const;
@@ -200,6 +216,11 @@ class GuardScheduler : public Scheduler, public ActorHost {
   AttemptCallback WrapAttempt(EventLiteral literal, int site,
                               AttemptCallback done);
   void CountMessage(RuntimeMessageKind kind);
+  /// O(1) actor lookup through the dense index; nullptr when `symbol` has
+  /// no actor in this scheduler.
+  EventActor* FindActor(SymbolId symbol) const {
+    return symbol < actor_index_.size() ? actor_index_[symbol] : nullptr;
+  }
   void TraceSend(SymbolId from, SymbolId target, const RuntimeMessage& msg);
   /// Assimilation instant + flow-arrow end at the destination actor; runs
   /// at final delivery (after any retransmits), so the arrow connects the
@@ -215,6 +236,12 @@ class GuardScheduler : public Scheduler, public ActorHost {
   std::set<SymbolId> symbols_;
   bool impossible_ = false;
   std::map<SymbolId, std::unique_ptr<EventActor>> actors_;
+  /// Dense SymbolId → actor view over actors_ (nullptr for symbols not
+  /// installed here). Recover's restore/replay passes do one lookup per
+  /// log record across tens of thousands of records; indexing a vector
+  /// replaces a red-black-tree walk each time. actors_ keeps ownership
+  /// and deterministic iteration order.
+  std::vector<EventActor*> actor_index_;
   /// Per-actor contribution→site tables when options_.profiler is set
   /// (node-stable map: actors hold pointers into it).
   std::map<SymbolId, GuardProfile> profiles_;

@@ -1,0 +1,614 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "runtime/checkpoint.h"
+#include "runtime/event_log.h"
+#include "runtime/reliable_transport.h"
+#include "sched/guard_scheduler.h"
+#include "spec/parser.h"
+
+namespace cdes {
+namespace {
+
+constexpr char kTravelSpec[] = R"(
+workflow travel {
+  agent air @ site(0);
+  agent car @ site(1);
+  event s_buy    agent(air);
+  event c_buy    agent(air);
+  event s_book   agent(car) attrs(triggerable);
+  event c_book   agent(car);
+  event s_cancel agent(car) attrs(triggerable);
+  dep d1: ~s_buy + s_book;
+  dep d2: ~c_buy + c_book . c_buy;
+  dep d3: ~c_book + c_buy + s_cancel;
+}
+)";
+
+// ------------------------------------------------------ v3 checkpoint logs
+
+EventLog::CheckpointSection SectionFor(const EventLog& log,
+                                       std::string payload) {
+  EventLog::CheckpointSection section;
+  section.covered = log.total_records();
+  section.last_stamp = log.last_stamp();
+  section.payload = std::move(payload);
+  return section;
+}
+
+TEST(EventLogV3Test, CheckpointRoundTrips) {
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  alphabet.Intern("f");
+  EventLog log;
+  log.set_instance(9);
+  log.Append({OccurrenceStamp{100, 0}, EventLiteral::Positive(0)});
+  log.Append({OccurrenceStamp{250, 1}, EventLiteral::Complement(1)});
+  log.InstallCheckpoint(SectionFor(log, "meta 2 250\nhist e ~f"));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_records(), 2u);
+  log.Append({OccurrenceStamp{300, 2}, EventLiteral::Positive(1)});
+
+  for (bool sealed : {true, false}) {
+    std::string text =
+        sealed ? log.Serialize(alphabet) : log.SerializeOpen(alphabet);
+    auto parsed = sealed ? EventLog::Deserialize(alphabet, text)
+                         : EventLog::LoadTolerant(alphabet, text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed.value().instance(), 9u);
+    ASSERT_NE(parsed.value().checkpoint(), nullptr);
+    EXPECT_EQ(*parsed.value().checkpoint(), *log.checkpoint());
+    EXPECT_EQ(parsed.value().records(), log.records());
+    EXPECT_EQ(parsed.value().total_records(), 3u);
+  }
+}
+
+TEST(EventLogV3Test, PreCompactionFileParsesLikeCompacted) {
+  // State B (crash between checkpoint append and truncation): covered
+  // records still physically precede the checkpoint section. The parse
+  // must land on exactly the state the compacted file (state C) gives.
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  EventLog::Record r1{OccurrenceStamp{10, 0}, EventLiteral::Positive(0)};
+  EventLog::Record r2{OccurrenceStamp{20, 1}, EventLiteral::Complement(0)};
+  EventLog::Record r3{OccurrenceStamp{30, 2}, EventLiteral::Positive(0)};
+  EventLog::CheckpointSection section;
+  section.covered = 2;
+  section.last_stamp = r2.stamp;
+  section.payload = "meta 2 20\nhist e ~e";
+
+  std::string state_b = EventLog::HeaderLine(7) +
+                        EventLog::RecordLine(r1, alphabet) +
+                        EventLog::RecordLine(r2, alphabet) +
+                        EventLog::SectionText(section) +
+                        EventLog::RecordLine(r3, alphabet);
+  std::string state_c = EventLog::HeaderLine(7) +
+                        EventLog::SectionText(section) +
+                        EventLog::RecordLine(r3, alphabet);
+
+  bool dropped = true;
+  auto b = EventLog::LoadTolerant(alphabet, state_b, &dropped);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_FALSE(dropped);
+  auto c = EventLog::LoadTolerant(alphabet, state_c);
+  ASSERT_TRUE(c.ok()) << c.status();
+  ASSERT_NE(b.value().checkpoint(), nullptr);
+  EXPECT_EQ(*b.value().checkpoint(), *c.value().checkpoint());
+  EXPECT_EQ(b.value().records(), c.value().records());
+  ASSERT_EQ(b.value().size(), 1u);
+  EXPECT_EQ(b.value().records()[0], r3);
+  EXPECT_EQ(b.value().total_records(), 3u);
+}
+
+TEST(EventLogV3Test, TornCheckpointAtEofFallsBackToRecords) {
+  // Crash mid-way through appending the checkpoint section (phase 1 torn):
+  // the covered records are still intact above it and carry the state.
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  EventLog::Record r1{OccurrenceStamp{10, 0}, EventLiteral::Positive(0)};
+  EventLog::Record r2{OccurrenceStamp{20, 1}, EventLiteral::Complement(0)};
+  EventLog::CheckpointSection section;
+  section.covered = 2;
+  section.last_stamp = r2.stamp;
+  section.payload = "meta 2 20\nhist e ~e";
+  std::string full = EventLog::HeaderLine(3) +
+                     EventLog::RecordLine(r1, alphabet) +
+                     EventLog::RecordLine(r2, alphabet) +
+                     EventLog::SectionText(section);
+  size_t ckpt_at = full.find("ckpt ");
+  for (size_t cut = ckpt_at; cut < full.size(); ++cut) {
+    auto torn = EventLog::LoadTolerant(alphabet, full.substr(0, cut));
+    ASSERT_TRUE(torn.ok()) << "cut " << cut << ": " << torn.status();
+    if (torn.value().checkpoint() == nullptr) {
+      EXPECT_EQ(torn.value().records(),
+                (std::vector<EventLog::Record>{r1, r2}))
+          << "cut " << cut;
+    } else {
+      EXPECT_EQ(*torn.value().checkpoint(), section) << "cut " << cut;
+    }
+    EXPECT_EQ(torn.value().total_records(), 2u) << "cut " << cut;
+  }
+}
+
+TEST(EventLogV3Test, ByteTruncationSweepNeverFabricatesState) {
+  // Chop a state-B file (records + checkpoint + suffix, no trailer — the
+  // live WAL shape) at every byte. Tolerant load must either fail cleanly
+  // or produce a prefix of the true history — never wrong records.
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  alphabet.Intern("f");
+  std::vector<EventLog::Record> all = {
+      {OccurrenceStamp{10, 0}, EventLiteral::Positive(0)},
+      {OccurrenceStamp{20, 1}, EventLiteral::Complement(1)},
+      {OccurrenceStamp{30, 2}, EventLiteral::Positive(1)},
+      {OccurrenceStamp{40, 3}, EventLiteral::Complement(0)},
+      {OccurrenceStamp{55, 4}, EventLiteral::Positive(0)},
+  };
+  EventLog::CheckpointSection section;
+  section.covered = 3;
+  section.last_stamp = all[2].stamp;
+  section.payload = "meta 3 30\nhist e ~f f";
+
+  std::string text = EventLog::HeaderLine(11);
+  for (size_t i = 0; i < 3; ++i)
+    text += EventLog::RecordLine(all[i], alphabet);
+  text += EventLog::SectionText(section);
+  for (size_t i = 3; i < all.size(); ++i)
+    text += EventLog::RecordLine(all[i], alphabet);
+
+  size_t ok_count = 0;
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    auto got = EventLog::LoadTolerant(alphabet, text.substr(0, cut));
+    if (!got.ok()) continue;  // clean failure (e.g. torn header) is fine
+    ++ok_count;
+    const EventLog& log = got.value();
+    // Known prefix length: checkpoint coverage plus explicit records.
+    ASSERT_LE(log.total_records(), all.size()) << "cut " << cut;
+    size_t base = 0;
+    if (log.checkpoint() != nullptr) {
+      EXPECT_EQ(*log.checkpoint(), section) << "cut " << cut;
+      base = section.covered;
+    }
+    for (size_t i = 0; i < log.records().size(); ++i) {
+      EXPECT_EQ(log.records()[i], all[base + i]) << "cut " << cut;
+    }
+  }
+  EXPECT_GT(ok_count, 0u);
+  // The full file parses to the checkpointed form.
+  auto full = EventLog::LoadTolerant(alphabet, text);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().total_records(), all.size());
+  ASSERT_NE(full.value().checkpoint(), nullptr);
+}
+
+TEST(EventLogV3Test, TornHeaderRejected) {
+  // A header cut mid-write (no newline) could carry a truncated instance
+  // id; both the parser and the router peek must refuse it.
+  EXPECT_FALSE(EventLog::LoadTolerant(Alphabet(), "cdeslog v3 41").ok());
+  EXPECT_FALSE(EventLog::PeekInstance("cdeslog v3 41").ok());
+  auto ok = EventLog::PeekInstance("cdeslog v3 418\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 418u);
+}
+
+TEST(EventLogV3Test, TornTrailerDropsNothing) {
+  // A trailer line torn mid-write ("checksum 1a") proves every record
+  // line above it was already flushed: tolerant load keeps them all and
+  // must NOT report a dropped record.
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  EventLog log;
+  log.Append({OccurrenceStamp{5, 0}, EventLiteral::Positive(0)});
+  log.Append({OccurrenceStamp{6, 1}, EventLiteral::Complement(0)});
+  std::string text = log.Serialize(alphabet);
+  size_t trailer = text.rfind("checksum ");
+  for (size_t keep : {size_t{9}, size_t{10}, size_t{11}}) {
+    std::string torn = text.substr(0, trailer + keep);
+    EXPECT_FALSE(EventLog::Deserialize(alphabet, torn).ok());
+    bool dropped = true;
+    auto got = EventLog::LoadTolerant(alphabet, torn, &dropped);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_FALSE(dropped) << "keep " << keep;
+    EXPECT_EQ(got.value().records(), log.records());
+  }
+}
+
+TEST(EventLogV3Test, DecreasingStampsRejectedOnParse) {
+  // Untrusted serialized input with regressing stamps is a Status, not a
+  // crash: both loaders refuse it.
+  Alphabet alphabet;
+  alphabet.Intern("e");
+  std::string text =
+      EventLog::HeaderLine(1) +
+      EventLog::RecordLine({OccurrenceStamp{50, 1}, EventLiteral::Positive(0)},
+                           alphabet) +
+      EventLog::RecordLine({OccurrenceStamp{40, 0}, EventLiteral::Positive(0)},
+                           alphabet);
+  auto got = EventLog::LoadTolerant(alphabet, text);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("decrease"), std::string::npos)
+      << got.status();
+}
+
+TEST(EventLogV3DeathTest, AppendChecksStampMonotonicity) {
+  EventLog log;
+  log.Append({OccurrenceStamp{50, 1}, EventLiteral::Positive(0)});
+  EXPECT_DEATH(
+      log.Append({OccurrenceStamp{40, 0}, EventLiteral::Positive(0)}), "");
+}
+
+TEST(EventLogV3DeathTest, CheckpointMustCoverWholeLog) {
+  EventLog log;
+  log.Append({OccurrenceStamp{10, 0}, EventLiteral::Positive(0)});
+  EventLog::CheckpointSection section;
+  section.covered = 5;  // log only has 1 record
+  section.last_stamp = OccurrenceStamp{10, 0};
+  EXPECT_DEATH(log.InstallCheckpoint(section), "");
+}
+
+// --------------------------------------------------------- guard sexprs
+
+struct SexprWorld {
+  SexprWorld() {
+    auto parsed = ParseWorkflow(&ctx, kTravelSpec);
+    CDES_CHECK(parsed.ok());
+    workflow = std::move(parsed).value();
+  }
+  EventLiteral Lit(const std::string& name) {
+    auto lit = ctx.alphabet()->ParseLiteral(name);
+    CDES_CHECK(lit.ok());
+    return lit.value();
+  }
+  WorkflowContext ctx;
+  ParsedWorkflow workflow;
+};
+
+TEST(SexprTest, GuardRoundTripIsPointerExact) {
+  SexprWorld w;
+  GuardArena* g = w.ctx.guards();
+  ExprArena* x = w.ctx.exprs();
+  const Expr* seq = x->Seq(x->Atom(w.Lit("c_buy")), x->Atom(w.Lit("c_book")));
+  const Guard* cases[] = {
+      g->True(),
+      g->False(),
+      g->Box(w.Lit("s_buy")),
+      g->Neg(w.Lit("~c_buy")),
+      g->Diamond(seq),
+      g->And(g->Box(w.Lit("s_buy")), g->Diamond(seq)),
+      g->Or(g->Neg(w.Lit("c_book")),
+            g->And(g->Box(w.Lit("~s_cancel")), g->Diamond(x->Atom(w.Lit("c_buy"))))),
+  };
+  for (const Guard* guard : cases) {
+    std::string sexpr = GuardToSexpr(guard, *w.ctx.alphabet());
+    auto back = GuardFromSexpr(g, *w.ctx.alphabet(), sexpr);
+    ASSERT_TRUE(back.ok()) << sexpr << ": " << back.status();
+    // Hash-consing: re-parsing a canonical node re-interns the identical
+    // pointer, which is what lets recovery compare baselines by address.
+    EXPECT_EQ(back.value(), guard) << sexpr;
+  }
+}
+
+TEST(SexprTest, ExprRoundTripIsPointerExact) {
+  SexprWorld w;
+  ExprArena* x = w.ctx.exprs();
+  const Expr* cases[] = {
+      x->Zero(),
+      x->Top(),
+      x->Atom(w.Lit("s_buy")),
+      x->Seq(x->Atom(w.Lit("c_buy")), x->Atom(w.Lit("c_book"))),
+      x->Or(x->Atom(w.Lit("~c_buy")),
+            x->And(x->Atom(w.Lit("s_book")), x->Atom(w.Lit("s_buy")))),
+  };
+  for (const Expr* expr : cases) {
+    std::string sexpr = ExprToSexpr(expr, *w.ctx.alphabet());
+    auto back = ExprFromSexpr(x, *w.ctx.alphabet(), sexpr);
+    ASSERT_TRUE(back.ok()) << sexpr << ": " << back.status();
+    EXPECT_EQ(back.value(), expr) << sexpr;
+  }
+}
+
+TEST(SexprTest, MalformedSexprsRejected) {
+  SexprWorld w;
+  for (const char* bad :
+       {"", "(", ")", "(and (box s_buy)", "(box nope)", "(box)",
+        "(frob s_buy)", "(and (box s_buy)))", "s_buy extra"}) {
+    EXPECT_FALSE(
+        GuardFromSexpr(w.ctx.guards(), *w.ctx.alphabet(), bad).ok())
+        << "guard sexpr: " << bad;
+  }
+  for (const char* bad : {"", "(seq", "(seq nope)", "(frob s_buy)"}) {
+    EXPECT_FALSE(ExprFromSexpr(w.ctx.exprs(), *w.ctx.alphabet(), bad).ok())
+        << "expr sexpr: " << bad;
+  }
+}
+
+// --------------------------------------------------- checkpoint payloads
+
+TEST(CheckpointPayloadTest, RoundTrips) {
+  SexprWorld w;
+  GuardArena* g = w.ctx.guards();
+  CheckpointState state;
+  state.next_seq = 7;
+  state.clock = 4200;
+  state.history = {w.Lit("s_book"), w.Lit("s_buy"), w.Lit("~c_book")};
+  ActorCheckpoint actor;
+  actor.symbol = w.Lit("c_buy").symbol();
+  actor.positive = g->And(g->Box(w.Lit("c_book")), g->Neg(w.Lit("~c_buy")));
+  actor.negative = g->Diamond(w.ctx.exprs()->Atom(w.Lit("s_cancel")));
+  state.actors.push_back(actor);
+  TransportChannelState chan;
+  chan.src = 0;
+  chan.dst = 1;
+  chan.send_next = 4;
+  chan.recv_contiguous = 3;
+  chan.recv_gapped = {5, 8};
+  state.channels.push_back(chan);
+
+  std::string payload = SerializeCheckpoint(state, *w.ctx.alphabet());
+  auto back = ParseCheckpoint(g, *w.ctx.alphabet(), payload);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().next_seq, state.next_seq);
+  EXPECT_EQ(back.value().clock, state.clock);
+  EXPECT_EQ(back.value().history, state.history);
+  ASSERT_EQ(back.value().actors.size(), 1u);
+  EXPECT_EQ(back.value().actors[0].symbol, actor.symbol);
+  EXPECT_EQ(back.value().actors[0].positive, actor.positive);
+  EXPECT_EQ(back.value().actors[0].negative, actor.negative);
+  EXPECT_EQ(back.value().channels, state.channels);
+  // Determinism: serializing the parsed state reproduces the payload.
+  EXPECT_EQ(SerializeCheckpoint(back.value(), *w.ctx.alphabet()), payload);
+}
+
+TEST(CheckpointPayloadTest, MalformedPayloadsRejected) {
+  SexprWorld w;
+  GuardArena* g = w.ctx.guards();
+  const Alphabet& a = *w.ctx.alphabet();
+  // A valid meta prefix for this world's alphabet, to isolate later lines.
+  const std::string meta = StrCat("meta 1 10 ", a.size(), " ",
+                                  AlphabetFingerprint(a, a.size()));
+  EXPECT_FALSE(ParseCheckpoint(g, a, "").ok());
+  EXPECT_FALSE(ParseCheckpoint(g, a, "hist 0").ok());    // no meta first
+  EXPECT_FALSE(ParseCheckpoint(g, a, "meta 1 10").ok());  // pre-v3 meta arity
+  EXPECT_FALSE(ParseCheckpoint(g, a, meta).ok());         // no hist
+  EXPECT_FALSE(ParseCheckpoint(g, a, StrCat(meta, "\nhist nope")).ok());
+  // Out-of-range symbol ids, in hist and actor position.
+  EXPECT_FALSE(
+      ParseCheckpoint(g, a, StrCat(meta, "\nhist ", a.size())).ok());
+  EXPECT_FALSE(ParseCheckpoint(g, a, StrCat(meta, "\nhist\nactor ", a.size(),
+                                            "\npos ^GT\nneg ^GT"))
+                   .ok());
+  // Truncated actor block.
+  EXPECT_FALSE(
+      ParseCheckpoint(g, a, StrCat(meta, "\nhist\nactor 0\npos ^GT")).ok());
+  EXPECT_FALSE(ParseCheckpoint(g, a, StrCat(meta, "\nhist\nwhat 3")).ok());
+  // Fingerprint or symbol-count mismatch: same grammar, different alphabet.
+  EXPECT_FALSE(ParseCheckpoint(
+                   g, a, StrCat("meta 1 10 ", a.size(), " 12345\nhist"))
+                   .ok());
+  EXPECT_FALSE(ParseCheckpoint(g, a, StrCat("meta 1 10 ", a.size() + 1, " ",
+                                            AlphabetFingerprint(a, a.size()),
+                                            "\nhist"))
+                   .ok());
+}
+
+// ------------------------------------------------- transport watermarks
+
+TEST(TransportSnapshotTest, RestoreThenSnapshotRoundTrips) {
+  Simulator sim;
+  NetworkOptions nopts;
+  nopts.drop_probability = 0.2;  // arm fault injection: reliable path on
+  Network net(&sim, 3, nopts);
+  ReliableTransport fresh(&net);
+
+  std::vector<TransportChannelState> channels;
+  TransportChannelState c01;
+  c01.src = 0;
+  c01.dst = 1;
+  c01.send_next = 6;
+  c01.recv_contiguous = 4;
+  c01.recv_gapped = {6, 9};
+  channels.push_back(c01);
+  TransportChannelState c21;
+  c21.src = 2;
+  c21.dst = 1;
+  c21.send_next = 2;
+  channels.push_back(c21);
+
+  fresh.RestoreChannels(channels);
+  EXPECT_EQ(fresh.SnapshotChannels(), channels);
+}
+
+TEST(TransportSnapshotTest, LiveTrafficSnapshotSurvivesRestore) {
+  Simulator sim;
+  NetworkOptions nopts;
+  nopts.drop_probability = 0.3;
+  nopts.seed = 7;
+  Network net(&sim, 2, nopts);
+  ReliableTransport transport(&net);
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    transport.Send(0, 1, 64, [&] { ++delivered; });
+  }
+  sim.Run();
+  ASSERT_EQ(transport.in_flight(), 0u);  // quiescent
+  EXPECT_EQ(delivered, 5);
+
+  auto snapshot = transport.SnapshotChannels();
+  ASSERT_FALSE(snapshot.empty());
+  Simulator sim2;
+  Network net2(&sim2, 2, nopts);
+  ReliableTransport restored(&net2);
+  restored.RestoreChannels(snapshot);
+  EXPECT_EQ(restored.SnapshotChannels(), snapshot);
+}
+
+// ------------------------------------- scheduler checkpoints, end to end
+
+struct LoggedWorld {
+  explicit LoggedWorld(EventLog* log) {
+    auto parsed = ParseWorkflow(&ctx, kTravelSpec);
+    CDES_CHECK(parsed.ok());
+    workflow = std::move(parsed).value();
+    NetworkOptions nopts;
+    nopts.base_latency = 100;
+    network = std::make_unique<Network>(&sim, 4, nopts);
+    GuardSchedulerOptions options;
+    options.durable_log = log;
+    sched = std::make_unique<GuardScheduler>(&ctx, workflow, network.get(),
+                                             options);
+  }
+
+  Decision AttemptAndRun(const std::string& name) {
+    auto lit = ctx.alphabet()->ParseLiteral(name);
+    CDES_CHECK(lit.ok());
+    Decision last = Decision::kParked;
+    sched->Attempt(lit.value(), [&](Decision d) { last = d; });
+    sim.Run();
+    return last;
+  }
+
+  void CloseToMaximal() {
+    for (int round = 0; round < 8 && !sched->Undecided().empty(); ++round) {
+      sched->Close();
+      sim.Run();
+    }
+  }
+
+  std::string History() {
+    return TraceToString(sched->history(), *ctx.alphabet());
+  }
+
+  WorkflowContext ctx;
+  Simulator sim;
+  std::unique_ptr<Network> network;
+  ParsedWorkflow workflow;
+  std::unique_ptr<GuardScheduler> sched;
+};
+
+TEST(SchedulerCheckpointTest, SnapshotRecoverMatchesGenesisReplay) {
+  // Run half the workflow, checkpoint + compact the live log, run the
+  // rest. Recovery through the checkpointed log must agree — history and
+  // every undecided guard — with recovery through full genesis replay.
+  EventLog checkpointed;
+  std::string full_history;
+  std::string genesis_text;
+  {
+    LoggedWorld w(&checkpointed);
+    EXPECT_EQ(w.AttemptAndRun("s_buy"), Decision::kAccepted);
+    EXPECT_EQ(w.AttemptAndRun("c_book"), Decision::kAccepted);
+
+    genesis_text = checkpointed.SerializeOpen(*w.ctx.alphabet());
+    CheckpointState state = w.sched->Snapshot();
+    EXPECT_EQ(state.history.size(), checkpointed.size());
+    checkpointed.InstallCheckpoint(SectionFor(
+        checkpointed, SerializeCheckpoint(state, *w.ctx.alphabet())));
+
+    EXPECT_EQ(w.AttemptAndRun("c_buy"), Decision::kAccepted);
+    full_history = w.History();
+    // Suffix records landed after the checkpoint; genesis text gets the
+    // same suffix for the comparison run.
+    for (const auto& record : checkpointed.records()) {
+      genesis_text += EventLog::RecordLine(record, *w.ctx.alphabet());
+    }
+  }
+  ASSERT_NE(checkpointed.checkpoint(), nullptr);
+  ASSERT_GT(checkpointed.size(), 0u);
+
+  LoggedWorld from_ckpt(nullptr);
+  ASSERT_TRUE(from_ckpt.sched->Recover(checkpointed).ok());
+  EXPECT_EQ(from_ckpt.History(), full_history);
+
+  LoggedWorld from_genesis(nullptr);
+  auto genesis_log =
+      EventLog::LoadTolerant(*from_genesis.ctx.alphabet(), genesis_text);
+  ASSERT_TRUE(genesis_log.ok()) << genesis_log.status();
+  EXPECT_EQ(genesis_log.value().checkpoint(), nullptr);
+  ASSERT_TRUE(from_genesis.sched->Recover(genesis_log.value()).ok());
+  EXPECT_EQ(from_genesis.History(), full_history);
+
+  for (const char* name : {"s_cancel", "~s_cancel"}) {
+    auto lit_c = from_ckpt.ctx.alphabet()->ParseLiteral(name);
+    auto lit_g = from_genesis.ctx.alphabet()->ParseLiteral(name);
+    ASSERT_TRUE(lit_c.ok() && lit_g.ok());
+    EXPECT_EQ(GuardToString(from_ckpt.sched->CurrentGuardOf(lit_c.value()),
+                            *from_ckpt.ctx.alphabet()),
+              GuardToString(from_genesis.sched->CurrentGuardOf(lit_g.value()),
+                            *from_genesis.ctx.alphabet()))
+        << name;
+  }
+
+  // Both recovered worlds finish to the same consistent maximal trace.
+  from_ckpt.CloseToMaximal();
+  from_genesis.CloseToMaximal();
+  EXPECT_TRUE(from_ckpt.sched->Undecided().empty());
+  EXPECT_TRUE(from_ckpt.sched->HistoryConsistent(true));
+  EXPECT_EQ(from_ckpt.History(), from_genesis.History());
+}
+
+TEST(SchedulerCheckpointTest, CrashPointSweepOverCheckpointWrite) {
+  // Simulate kill -9 at every byte between "checkpoint appended" (state B)
+  // and "prefix truncated" (state C): chop the state-B image everywhere.
+  // Whatever tolerant load recovers, a fresh scheduler must accept it and
+  // close to a maximal trace whose prefix matches the uninterrupted run.
+  EventLog log;
+  std::string reference_history;
+  std::string state_b;
+  {
+    LoggedWorld w(&log);
+    EXPECT_EQ(w.AttemptAndRun("s_buy"), Decision::kAccepted);
+    state_b = log.SerializeOpen(*w.ctx.alphabet());  // records so far
+    CheckpointState state = w.sched->Snapshot();
+    EventLog::CheckpointSection section =
+        SectionFor(log, SerializeCheckpoint(state, *w.ctx.alphabet()));
+    state_b += EventLog::SectionText(section);  // phase-1 append
+    EXPECT_EQ(w.AttemptAndRun("c_book"), Decision::kAccepted);
+    reference_history = w.History();
+  }
+
+  LoggedWorld uninterrupted(nullptr);
+  ASSERT_TRUE(uninterrupted.sched->Recover(log).ok());
+  uninterrupted.CloseToMaximal();
+  std::string maximal = uninterrupted.History();
+
+  for (size_t cut = 0; cut <= state_b.size(); ++cut) {
+    auto got = EventLog::LoadTolerant(*uninterrupted.ctx.alphabet(),
+                                      state_b.substr(0, cut));
+    if (!got.ok()) continue;  // torn header region: cleanly refused
+    LoggedWorld w(nullptr);
+    auto parsed = EventLog::LoadTolerant(*w.ctx.alphabet(),
+                                         state_b.substr(0, cut));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(w.sched->Recover(parsed.value()).ok()) << "cut " << cut;
+    // Replay what the crash interrupted, then close: the outcome must be
+    // byte-identical to the uninterrupted world's maximal trace.
+    w.AttemptAndRun("s_buy");
+    w.AttemptAndRun("c_book");
+    EXPECT_EQ(w.History(), reference_history) << "cut " << cut;
+    w.AttemptAndRun("c_buy");
+    uninterrupted.AttemptAndRun("c_buy");
+    w.CloseToMaximal();
+    EXPECT_TRUE(w.sched->HistoryConsistent(true)) << "cut " << cut;
+  }
+}
+
+TEST(SchedulerCheckpointTest, RecoverRejectsDoubleDecidedLog) {
+  // A log (or checkpoint) that decides the same symbol twice is corrupt
+  // input: Recover must return a Status, not crash the process.
+  LoggedWorld probe(nullptr);
+  auto lit = probe.ctx.alphabet()->ParseLiteral("s_buy");
+  ASSERT_TRUE(lit.ok());
+  EventLog log;
+  log.Append({OccurrenceStamp{10, 0}, lit.value()});
+  log.Append({OccurrenceStamp{20, 1}, lit.value()});
+  LoggedWorld w(nullptr);
+  Status status = w.sched->Recover(log);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("twice"), std::string::npos) << status;
+}
+
+}  // namespace
+}  // namespace cdes

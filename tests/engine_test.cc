@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -479,6 +480,159 @@ TEST(EngineTest, FlowEventsLinkSubmitToCompletion) {
   ASSERT_NE(hot, nullptr);
   ASSERT_FALSE(hot->array().empty());
   EXPECT_NE(hot->array()[0].Find("site"), nullptr);
+}
+
+TEST(EngineTest, RecoverRejectsDuplicateInstanceIds) {
+  // Two logs claiming the same instance id would run the instance twice on
+  // its shard; Recover must refuse the whole batch up front, before any
+  // instance materializes.
+  std::string log_text;
+  {
+    EngineOptions opts;
+    opts.shards = 1;
+    opts.durable_logs = true;
+    Engine eng(TravelSpec(), opts);
+    InstanceScript script;
+    script.attempts = {"s_buy"};
+    script.close = false;
+    ASSERT_TRUE(eng.Submit(std::move(script)).ok());
+    eng.Drain();
+    auto results = eng.TakeResults();
+    ASSERT_EQ(results.size(), 1u);
+    log_text = results[0].log_text;
+  }
+  EngineOptions opts;
+  opts.shards = 2;
+  Engine eng(TravelSpec(), opts);
+  Status status = eng.Recover({log_text, log_text});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicate instance id"), std::string::npos)
+      << status;
+  // Nothing was admitted: the engine drains instantly with no results.
+  EXPECT_EQ(eng.Metrics().instances_in_flight, 0u);
+  eng.Drain();
+  EXPECT_TRUE(eng.TakeResults().empty());
+}
+
+TEST(EngineTest, CheckpointedLogRecoversLikeGenesisLog) {
+  // The same instance run twice: once with plain durable logs (genesis
+  // replay on recovery) and once with an aggressive checkpoint policy
+  // (restore + empty suffix). Recovery must land both on the same maximal
+  // history.
+  const std::string dir = ::testing::TempDir() + "cdes_ckpt_engine";
+  std::filesystem::remove_all(dir);
+  auto run_phase1 = [&](bool checkpointed) {
+    EngineOptions opts;
+    opts.shards = 1;
+    if (checkpointed) {
+      opts.wal_dir = dir;
+      opts.checkpoint_every = 1;  // compact at every quiescent turn
+    } else {
+      opts.durable_logs = true;
+    }
+    Engine eng(TravelSpec(), opts);
+    InstanceScript script;
+    script.attempts = {"s_buy", "c_book"};
+    script.close = false;
+    CDES_CHECK(eng.Submit(std::move(script)).ok());
+    eng.Drain();
+    eng.Stop();
+    auto results = eng.TakeResults();
+    CDES_CHECK(results.size() == 1);
+    CDES_CHECK(results[0].error.empty()) << results[0].error;
+    if (checkpointed) {
+      // The policy actually fired and the sealed log carries a section.
+      auto it = eng.shard_metrics(0).counters().find("engine.checkpoints");
+      CDES_CHECK(it != eng.shard_metrics(0).counters().end());
+      CDES_CHECK(it->second->value() > 0);
+      CDES_CHECK(results[0].log_text.find("ckpt ") != std::string::npos);
+    } else {
+      CDES_CHECK(results[0].log_text.find("ckpt ") == std::string::npos);
+    }
+    return results[0].log_text;
+  };
+  std::string genesis_log = run_phase1(false);
+  std::string checkpointed_log = run_phase1(true);
+  // Completed instances retire their WAL files; the sealed log is the
+  // durable record.
+  size_t leftover = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir)) {
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
+
+  auto recover = [&](const std::string& log_text) {
+    EngineOptions opts;
+    opts.shards = 1;
+    Engine eng(TravelSpec(), opts);
+    CDES_CHECK(eng.Recover({log_text}).ok());
+    eng.Drain();
+    auto results = eng.TakeResults();
+    CDES_CHECK(results.size() == 1);
+    CDES_CHECK(results[0].error.empty()) << results[0].error;
+    CDES_CHECK(results[0].maximal);
+    CDES_CHECK(results[0].consistent);
+    return results[0].history;
+  };
+  EXPECT_EQ(recover(checkpointed_log), recover(genesis_log));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineTest, WalDirAbortThenRecoverDir) {
+  // Crash smoke: run a wal_dir engine with group commit and a checkpoint
+  // policy, kill it mid-flight (Abort), and point a fresh engine at the
+  // directory. Every instance recovered from disk must be one the dead
+  // engine never reported, and must close to a consistent maximal trace.
+  const std::string dir = ::testing::TempDir() + "cdes_wal_abort";
+  std::filesystem::remove_all(dir);
+  std::set<uint64_t> completed_before_crash;
+  constexpr size_t kInstances = 24;
+  {
+    EngineOptions opts;
+    opts.shards = 2;
+    opts.wal_dir = dir;
+    opts.checkpoint_every = 2;
+    opts.group_commit_records = 3;
+    Engine eng(TravelSpec(), opts);
+    for (size_t i = 0; i < kInstances; ++i) {
+      ASSERT_TRUE(eng.Submit(ScriptFor(i)).ok());
+    }
+    eng.Abort();  // simulated kill -9: in-flight instances stay on disk
+    for (const InstanceResult& r : eng.TakeResults()) {
+      completed_before_crash.insert(r.id);
+    }
+  }
+
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.wal_dir = dir;  // the restarted engine keeps journaling
+  Engine eng(TravelSpec(), opts);
+  ASSERT_TRUE(eng.RecoverDir(dir).ok());
+  eng.Drain();
+  for (const InstanceResult& r : eng.TakeResults()) {
+    EXPECT_EQ(completed_before_crash.count(r.id), 0u)
+        << "instance " << r.id << " recovered although already completed";
+    EXPECT_TRUE(r.error.empty()) << "instance " << r.id << ": " << r.error;
+    EXPECT_TRUE(r.maximal) << "instance " << r.id;
+    EXPECT_TRUE(r.consistent) << "instance " << r.id << ": " << r.history;
+  }
+  // Recovered instances completed and retired their files.
+  size_t leftover = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir)) {
+    ++leftover;
+  }
+  EXPECT_EQ(leftover, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineTest, RecoverDirOnMissingDirectoryFails) {
+  EngineOptions opts;
+  opts.shards = 1;
+  Engine eng(TravelSpec(), opts);
+  EXPECT_FALSE(eng.RecoverDir("/nonexistent/cdes/wal").ok());
 }
 
 // ---- TSan stress: run under the CI thread-sanitizer job ----
