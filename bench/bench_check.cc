@@ -1,0 +1,135 @@
+// Reachability-checker benchmark: exploration throughput (states/sec) and
+// the ample-set partial-order reduction factor on a workload built to
+// reward it — four independent KleinPrecedes pairs over 8 symbols, where
+// naive exploration interleaves all four clusters and the reduction
+// explores them one entanglement class at a time. The headline numbers
+// land in BENCH_check.json (check_* gauges) for CI artifact diffing.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "algebra/generator.h"
+#include "analysis/model_checker.h"
+#include "common/strings.h"
+#include "guards/context.h"
+#include "spec/parser.h"
+#include "bench_util.h"
+
+namespace cdes {
+namespace {
+
+// Four independent e<f pairs: the entanglement partition keeps each pair
+// in its own class, so POR explores ~one cluster ordering instead of the
+// product of all four.
+ParsedWorkflow IndependentPairs(WorkflowContext* ctx, size_t pairs) {
+  ParsedWorkflow w;
+  w.name = "pairs";
+  for (size_t i = 0; i < pairs; ++i) {
+    SymbolId e = ctx->alphabet()->Intern(StrCat("e", i));
+    SymbolId f = ctx->alphabet()->Intern(StrCat("f", i));
+    w.spec.Add(StrCat("prec", i), KleinPrecedes(ctx->exprs(), e, f));
+  }
+  return w;
+}
+
+analysis::ModelCheckStats RunOnce(bool por) {
+  WorkflowContext ctx;
+  ParsedWorkflow w = IndependentPairs(&ctx, 4);
+  analysis::ModelCheckOptions options;
+  options.partial_order_reduction = por;
+  analysis::CheckResult result = analysis::CheckWorkflow(&ctx, w, options);
+  CDES_CHECK(!result.stats.bounded) << result.stats.bound_reason;
+  CDES_CHECK(result.diagnostics.empty());
+  return result.stats;
+}
+
+void BM_CheckIndependentPairsNaive(benchmark::State& state) {
+  size_t states = 0;
+  uint64_t micros = 0;
+  for (auto _ : state) {
+    analysis::ModelCheckStats stats = RunOnce(/*por=*/false);
+    states = stats.states_explored;
+    micros += stats.elapsed_micros;
+    benchmark::DoNotOptimize(stats.transitions);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  if (micros > 0) {
+    state.counters["states_per_sec"] = static_cast<double>(states) *
+                                       state.iterations() * 1e6 /
+                                       static_cast<double>(micros);
+  }
+}
+BENCHMARK(BM_CheckIndependentPairsNaive)->Unit(benchmark::kMillisecond);
+
+void BM_CheckIndependentPairsPor(benchmark::State& state) {
+  size_t states = 0;
+  uint64_t micros = 0;
+  for (auto _ : state) {
+    analysis::ModelCheckStats stats = RunOnce(/*por=*/true);
+    states = stats.states_explored;
+    micros += stats.elapsed_micros;
+    benchmark::DoNotOptimize(stats.transitions);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  if (micros > 0) {
+    state.counters["states_per_sec"] = static_cast<double>(states) *
+                                       state.iterations() * 1e6 /
+                                       static_cast<double>(micros);
+  }
+}
+BENCHMARK(BM_CheckIndependentPairsPor)->Unit(benchmark::kMillisecond);
+
+void BM_CheckTravelSpec(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkflowContext ctx;
+    auto parsed = ParseWorkflow(&ctx, bench::kTravelSpec);
+    CDES_CHECK(parsed.ok()) << parsed.status();
+    analysis::CheckResult result =
+        analysis::CheckWorkflow(&ctx, parsed.value());
+    CDES_CHECK(result.diagnostics.empty());
+    benchmark::DoNotOptimize(result.stats.states_explored);
+  }
+}
+BENCHMARK(BM_CheckTravelSpec)->Unit(benchmark::kMillisecond);
+
+// The headline artifact numbers: one measured naive run and one POR run,
+// reported as gauges so BENCH_check.json carries the reduction factor.
+void RecordHeadlineMetrics() {
+  analysis::ModelCheckStats naive = RunOnce(/*por=*/false);
+  analysis::ModelCheckStats por = RunOnce(/*por=*/true);
+  auto& m = bench::BenchMetrics();
+  m.gauge("check_naive_states")->Set(static_cast<double>(naive.states_explored));
+  m.gauge("check_por_states")->Set(static_cast<double>(por.states_explored));
+  double factor = por.states_explored > 0
+                      ? static_cast<double>(naive.states_explored) /
+                            static_cast<double>(por.states_explored)
+                      : 0.0;
+  m.gauge("check_por_reduction_factor")->Set(factor);
+  if (naive.elapsed_micros > 0) {
+    m.gauge("check_naive_states_per_sec")
+        ->Set(static_cast<double>(naive.states_explored) * 1e6 /
+              static_cast<double>(naive.elapsed_micros));
+  }
+  if (por.elapsed_micros > 0) {
+    m.gauge("check_por_states_per_sec")
+        ->Set(static_cast<double>(por.states_explored) * 1e6 /
+              static_cast<double>(por.elapsed_micros));
+  }
+  std::printf("check: naive %zu states, por %zu states, reduction %.1fx\n",
+              naive.states_explored, por.states_explored, factor);
+  CDES_CHECK(factor >= 5.0) << "POR regression: expected >=5x on 4 "
+                               "independent pairs, got " << factor;
+}
+
+}  // namespace
+}  // namespace cdes
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  cdes::RecordHeadlineMetrics();
+  cdes::bench::ExportBenchMetrics("check");
+  return 0;
+}

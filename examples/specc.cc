@@ -17,8 +17,14 @@
 // printed after compilation. The =<file> form additionally writes
 // collapsed stacks for flamegraph.pl / speedscope.
 //
-// Usage:  ./build/examples/specc [file.wf] [--dot] [--trace=<file>]
-//                                [--profile[=<file>]]
+// With --verify, the exhaustive reachability checker (CL020–CL023, see
+// analysis/model_checker.h) gates compilation alongside the static
+// analyzer: a reachable deadlock, unreachable event, or guard⇔spec
+// mismatch aborts before anything is synthesized, and per-workflow
+// exploration stats are printed.
+//
+// Usage:  ./build/examples/specc [file.wf] [--dot] [--verify]
+//                                [--trace=<file>] [--profile[=<file>]]
 //         ./build/examples/specc examples/specs/travel.wf
 
 #include <chrono>
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
 
   std::string text = kDefaultSpec;
   bool dot = false;
+  bool verify = false;
   bool profile = false;
   const char* path = nullptr;
   const char* trace_path = nullptr;
@@ -65,6 +72,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--dot") {
       dot = true;
+    } else if (std::string_view(argv[i]) == "--verify") {
+      verify = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::string_view(argv[i]) == "--profile") {
@@ -146,6 +155,38 @@ int main(int argc, char** argv) {
   if (lint_errors) {
     std::fprintf(stderr, "specc: workflow rejected by static analysis\n");
     return 1;
+  }
+
+  // --verify: the exhaustive checker gates compilation. Reachability
+  // errors (CL020/CL021/CL023) abort with counterexample traces; a bounded
+  // run proves nothing about absence and is reported but not fatal.
+  if (verify) {
+    uint64_t verify_gate_start = now_us();
+    bool check_errors = false;
+    for (const ParsedWorkflow& w : parsed_all.value()) {
+      analysis::CheckResult result = analysis::CheckWorkflow(&ctx, w);
+      for (analysis::Diagnostic& d : result.diagnostics) {
+        if (path != nullptr) d.file = path;
+      }
+      std::fprintf(stderr, "%s",
+                   analysis::FormatDiagnostics(result.diagnostics).c_str());
+      std::printf("verify %s: %zu states, %zu transitions, %zu maximal, "
+                  "%zu accepted%s%s\n",
+                  w.name.c_str(), result.stats.states_explored,
+                  result.stats.transitions, result.stats.maximal_states,
+                  result.stats.accepted_states,
+                  result.stats.bounded ? " (bounded: " : "",
+                  result.stats.bounded
+                      ? (result.stats.bound_reason + ")").c_str()
+                      : "");
+      check_errors |= analysis::HasFindings(result.diagnostics);
+    }
+    phase("verify reachability", verify_gate_start);
+    if (check_errors) {
+      std::fprintf(stderr,
+                   "specc: workflow rejected by reachability check\n");
+      return 1;
+    }
   }
 
   auto write_trace = [&]() -> int {

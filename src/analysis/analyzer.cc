@@ -94,6 +94,13 @@ class Analyzer {
       CheckWaitGraph(raw);
       CheckGuardTriviality();
       if (options_.check_redundancy) CheckRedundancy();
+      if (options_.check_reachability) {
+        CheckResult result =
+            CheckCompiled(ctx_, workflow_, simplified, options_.check);
+        for (Diagnostic& d : result.diagnostics) {
+          diagnostics_.push_back(std::move(d));
+        }
+      }
     }
     std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
@@ -122,7 +129,14 @@ class Analyzer {
 
   SourceLocation EventLoc(SymbolId symbol) const {
     const EventDecl* decl = workflow_.FindEvent(symbol);
-    return decl != nullptr ? decl->loc : SourceLocation{};
+    if (decl != nullptr && decl->loc.known()) return decl->loc;
+    // Programmatic workflows (and sparse specs) often have no event
+    // declarations; anchoring at the first dependency mentioning the
+    // symbol beats printing the default-constructed 0:0.
+    for (const Dependency& dep : workflow_.spec.dependencies()) {
+      if (MentionedSymbols(dep.expr).count(symbol)) return dep.loc;
+    }
+    return SourceLocation{};
   }
 
   // -------------------------------------------------- symbol hygiene

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "analysis/model_checker.h"
 #include "spec/ast.h"
 
 namespace cdes::analysis {
@@ -21,6 +22,14 @@ struct AnalyzeOptions {
   size_t max_entailment_symbols = 8;
   /// Pairwise dependency entailment (CL007) can be disabled wholesale.
   bool check_redundancy = true;
+  /// Run the exhaustive reachability checker (CL020–CL023) after the
+  /// static passes. Off by default: the exploration is exact but can be
+  /// exponential in the symbol count, so callers opt in (cdes-lint
+  /// --check, specc --verify). Skipped, like the other guard passes, when
+  /// some dependency is unsatisfiable (CL001).
+  bool check_reachability = false;
+  /// Budgets for the reachability checker when enabled.
+  ModelCheckOptions check;
 };
 
 /// Runs every static pass over a parsed workflow and returns structured
@@ -42,6 +51,9 @@ struct AnalyzeOptions {
 ///   redundancy             CL007 (dependency entailed by another)
 ///   symbol hygiene         CL008 (undeclared), CL009 (no agent),
 ///                          CL010 (unconstrained)
+///   reachability (opt-in)  CL020–CL023 via the exhaustive model checker
+///                          (analysis/model_checker.h), when
+///                          `check_reachability` is set
 ///
 /// When some dependency is unsatisfiable (CL001) the guard, wait-graph and
 /// redundancy passes are suppressed: every guard of the workflow is 0 and

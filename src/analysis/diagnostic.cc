@@ -19,6 +19,10 @@ std::string_view RuleCode(Rule rule) {
     case Rule::kUndeclaredEvent: return "CL008";
     case Rule::kUnassignedEvent: return "CL009";
     case Rule::kUnconstrainedEvent: return "CL010";
+    case Rule::kReachableDeadlock: return "CL020";
+    case Rule::kUnreachableEvent: return "CL021";
+    case Rule::kUnexercisedDep: return "CL022";
+    case Rule::kGuardSpecMismatch: return "CL023";
   }
   CDES_CHECK(false);
   return "";
@@ -37,6 +41,10 @@ std::string_view RuleSlug(Rule rule) {
     case Rule::kUndeclaredEvent: return "undeclared-event";
     case Rule::kUnassignedEvent: return "unassigned-event";
     case Rule::kUnconstrainedEvent: return "unconstrained-event";
+    case Rule::kReachableDeadlock: return "reachable-deadlock";
+    case Rule::kUnreachableEvent: return "unreachable-event";
+    case Rule::kUnexercisedDep: return "unexercised-dep";
+    case Rule::kGuardSpecMismatch: return "guard-spec-mismatch";
   }
   CDES_CHECK(false);
   return "";
@@ -50,11 +58,15 @@ Severity RuleSeverity(Rule rule) {
     case Rule::kStaticDeadlock:
     case Rule::kWaitOnDead:
     case Rule::kUndeclaredEvent:
+    case Rule::kReachableDeadlock:
+    case Rule::kUnreachableEvent:
+    case Rule::kGuardSpecMismatch:
       return Severity::kError;
     case Rule::kVacuousDep:
     case Rule::kForcedEvent:
     case Rule::kRedundantDep:
     case Rule::kUnassignedEvent:
+    case Rule::kUnexercisedDep:
       return Severity::kWarning;
     case Rule::kUnconstrainedEvent:
       return Severity::kNote;
@@ -97,6 +109,15 @@ std::string FormatDiagnostics(std::span<const Diagnostic> diagnostics) {
   for (const Diagnostic& d : diagnostics) {
     out += FormatDiagnostic(d);
     out += "\n";
+    for (size_t i = 0; i < d.trace.size(); ++i) {
+      const TraceStep& step = d.trace[i];
+      out += StrCat("  #", i + 1, " ", step.literal);
+      if (!step.dependency.empty()) {
+        out += StrCat(" — dep '", step.dependency, "' (", step.loc.ToString(),
+                      ")");
+      }
+      out += "\n";
+    }
   }
   return out;
 }
@@ -112,7 +133,20 @@ std::string DiagnosticsToJson(std::span<const Diagnostic> diagnostics) {
                   ", \"severity\": \"", SeverityName(d.severity),
                   "\", \"code\": \"", RuleCode(d.rule), "\", \"rule\": \"",
                   RuleSlug(d.rule), "\", \"message\": \"",
-                  obs::JsonEscape(d.message), "\"}");
+                  obs::JsonEscape(d.message), "\"");
+    if (!d.trace.empty()) {
+      out += ", \"trace\": [";
+      for (size_t i = 0; i < d.trace.size(); ++i) {
+        const TraceStep& step = d.trace[i];
+        out += StrCat(i == 0 ? "" : ", ", "{\"literal\": \"",
+                      obs::JsonEscape(step.literal), "\", \"dependency\": \"",
+                      obs::JsonEscape(step.dependency),
+                      "\", \"line\": ", step.loc.line,
+                      ", \"column\": ", step.loc.column, "}");
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += "\n]\n";
   return out;

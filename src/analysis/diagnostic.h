@@ -30,6 +30,12 @@ enum class Rule {
   kUndeclaredEvent,     // CL008: dependency mentions an undeclared symbol
   kUnassignedEvent,     // CL009: event declared without an owning agent
   kUnconstrainedEvent,  // CL010: event mentioned by no dependency
+  // Reachability rules (the exhaustive model checker, analysis/model_checker.h;
+  // codes jump to CL020 to leave room for further static passes).
+  kReachableDeadlock,   // CL020: guard-legal run wedges before maximality
+  kUnreachableEvent,    // CL021: no reachable state ever permits the event
+  kUnexercisedDep,      // CL022: dependency satisfied only vacuously
+  kGuardSpecMismatch,   // CL023: guards and dependencies disagree (Thm 6)
 };
 
 /// "CL001" / "unsatisfiable-dep" / default severity for `rule`.
@@ -38,6 +44,16 @@ std::string_view RuleSlug(Rule rule);
 Severity RuleSeverity(Rule rule);
 
 std::string_view SeverityName(Severity severity);
+
+/// One step of a counterexample trace attached to a reachability finding:
+/// the literal that fired, the dependency that owns it (the first
+/// dependency mentioning its symbol, in spec order), and that dependency's
+/// source location — so a trace renders as runnable, source-anchored steps.
+struct TraceStep {
+  std::string literal;
+  std::string dependency;
+  SourceLocation loc;
+};
 
 /// One structured finding of the static analyzer (or the parser, wrapped).
 struct Diagnostic {
@@ -49,6 +65,9 @@ struct Diagnostic {
   SourceLocation loc;
   /// Spec file the workflow came from, when known (filled by the CLI).
   std::string file;
+  /// Counterexample trace for reachability findings (CL020/CL023), in
+  /// firing order; empty for the static rules.
+  std::vector<TraceStep> trace;
 };
 
 /// Builds a diagnostic with the rule's default severity.
@@ -58,7 +77,8 @@ Diagnostic MakeDiagnostic(Rule rule, std::string message,
 /// "file:line:col: severity: message [CL001 unsatisfiable-dep]".
 std::string FormatDiagnostic(const Diagnostic& d);
 
-/// Human-readable rendering, one diagnostic per line.
+/// Human-readable rendering, one diagnostic per line; counterexample
+/// traces follow as indented steps ("  #1 s_init — dep 'boot' (12:3)").
 std::string FormatDiagnostics(std::span<const Diagnostic> diagnostics);
 
 /// JSON array of objects with file/line/column/severity/code/rule/message

@@ -1,0 +1,90 @@
+#ifndef CDES_ANALYSIS_MODEL_CHECKER_H_
+#define CDES_ANALYSIS_MODEL_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/state_space.h"
+#include "spec/ast.h"
+
+namespace cdes::analysis {
+
+/// Budgets and switches for the exhaustive reachability checker. The
+/// exploration is exact (memoized canonical states + ample-set partial-order
+/// reduction), but worst-case exponential in the symbol count, so every run
+/// carries explicit caps; when any cap is hit the result is flagged
+/// `bounded` and the absence-based rules (CL021/CL022) are withheld — a
+/// bounded run can prove presence of a bad state, never absence.
+struct ModelCheckOptions {
+  /// Stop after this many canonical states have been expanded.
+  size_t max_states = 1 << 18;
+  /// Stop after this much wall time.
+  uint64_t max_millis = 10000;
+  /// Refuse to explore workflows with more symbols than this (the state
+  /// space is exponential; 64 is the hard representation limit).
+  size_t max_symbols = 16;
+  /// Ample-set partial-order reduction: at each state expand only one
+  /// entanglement class of events (see StateSpace::EntangledClasses).
+  /// Diagnostics are identical with it off — only the explored state count
+  /// changes; the switch exists for the soundness property tests and the
+  /// reduction-factor benchmark.
+  bool partial_order_reduction = true;
+  /// Cap on emitted counterexample diagnostics per rule and direction
+  /// (every reachable bad state is still *counted* in the stats).
+  size_t max_counterexamples = 4;
+};
+
+struct ModelCheckStats {
+  /// Canonical states expanded (the POR-sensitive cost metric).
+  size_t states_explored = 0;
+  /// Alive transitions taken.
+  size_t transitions = 0;
+  /// Maximal states reached (every symbol decided).
+  size_t maximal_states = 0;
+  /// Maximal states the synthesized guards accept.
+  size_t accepted_states = 0;
+  /// Reachable guard-deadlock states (CL020).
+  size_t deadlock_states = 0;
+  /// True when a budget cut the exploration short (or it was skipped);
+  /// the run proved whatever it reported, but not the absence of more.
+  bool bounded = false;
+  std::string bound_reason;
+  uint64_t elapsed_micros = 0;
+};
+
+struct CheckResult {
+  std::vector<Diagnostic> diagnostics;
+  ModelCheckStats stats;
+};
+
+/// Compiles `workflow` (default options — the guards the runtime would
+/// execute) and exhaustively enumerates every maximal computation the
+/// synthesized guards admit, alongside the source dependencies' residuals:
+///
+///   CL020  reachable deadlock — a guard-legal, non-maximal state where no
+///          literal's guard permits firing (shortest counterexample trace)
+///   CL021  unreachable event — an event permitted at no explored state,
+///          although its static guard is satisfiable (passes CL003)
+///   CL022  dependency never exercised — satisfied only vacuously: no
+///          accepted computation fires any event it mentions
+///   CL023  spec⇔guards cross-validation (Theorem 6 checked exhaustively):
+///          a guard-accepted computation violating a dependency, or a
+///          dependency-satisfying computation the guards do not generate
+///
+/// Counterexample traces are attached to the diagnostics (Diagnostic::trace)
+/// with each step's owning dependency and source location.
+CheckResult CheckWorkflow(WorkflowContext* ctx, const ParsedWorkflow& workflow,
+                          const ModelCheckOptions& options = {});
+
+/// Same, over an already-compiled workflow (the analyzer and the benchmarks
+/// reuse their compilation). `workflow` supplies names and source locations
+/// and must be the spec `compiled` came from.
+CheckResult CheckCompiled(WorkflowContext* ctx, const ParsedWorkflow& workflow,
+                          const CompiledWorkflow& compiled,
+                          const ModelCheckOptions& options = {});
+
+}  // namespace cdes::analysis
+
+#endif  // CDES_ANALYSIS_MODEL_CHECKER_H_

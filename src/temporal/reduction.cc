@@ -103,6 +103,28 @@ const Guard* ReduceGuardCounted(GuardArena* arena, Residuator* residuator,
   return ReduceOnPromised<true>(arena, g, announcement.literal, nodes);
 }
 
+const Guard* CommitNow(GuardArena* arena, const Guard* g) {
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+    case GuardKind::kTrue:
+    case GuardKind::kDiamond:
+      return g;
+    case GuardKind::kBox:
+      return arena->False();
+    case GuardKind::kNeg:
+      return arena->True();
+    case GuardKind::kAnd:
+    case GuardKind::kOr: {
+      std::vector<const Guard*> kids;
+      kids.reserve(g->children().size());
+      for (const Guard* c : g->children()) kids.push_back(CommitNow(arena, c));
+      return g->kind() == GuardKind::kAnd ? arena->And(kids)
+                                          : arena->Or(kids);
+    }
+  }
+  return g;
+}
+
 const Expr* PruneImpossibleLiteral(ExprArena* arena, const Expr* e,
                                    EventLiteral dead) {
   switch (e->kind()) {

@@ -50,6 +50,21 @@ const Guard* ReduceGuardCounted(GuardArena* arena, Residuator* residuator,
 const Expr* PruneImpossibleLiteral(ExprArena* arena, const Expr* e,
                                    EventLiteral dead);
 
+/// The "commit now" projection of a reduced guard: the condition under
+/// which an event may fire at the current instant per the declarative
+/// HoldsAt semantics (Definition 4 / Semantics 13-14), rather than the
+/// runtime's optimistic EvaluateNow.
+///   □ℓ → 0   (ℓ has not occurred within the prefix, so the past cannot
+///             license the firing through it)
+///   ¬ℓ → ⊤   (ℓ has not occurred within the prefix, so ¬ℓ holds now)
+///   ◇E kept  (an obligation on the remainder of the maximal trace)
+/// The result therefore mentions only ◇-atoms and constants: 0 means the
+/// firing is not permitted; anything else is the obligation the rest of
+/// the trace must discharge (the model checker conjoins it into the path
+/// commitment and residuates it by each subsequent occurrence, starting
+/// with the fired literal itself — ◇ sees the full trace).
+const Guard* CommitNow(GuardArena* arena, const Guard* g);
+
 }  // namespace cdes
 
 #endif  // CDES_TEMPORAL_REDUCTION_H_
