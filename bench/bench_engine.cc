@@ -48,12 +48,14 @@ engine::InstanceScript ScriptFor(size_t i) {
 /// Resume→Drain only (submission cost excluded). Returns events/sec.
 double RunEngine(size_t shards, size_t instances, uint64_t* events_out,
                  obs::GuardProfiler* profiler = nullptr,
-                 engine::EngineMetricsSnapshot* snap_out = nullptr) {
+                 engine::EngineMetricsSnapshot* snap_out = nullptr,
+                 bool symbolic_caches = true) {
   engine::EngineOptions opts;
   opts.shards = shards;
   opts.max_in_flight = 0;  // unbounded: preload everything
   opts.start_paused = true;
   opts.profiler = profiler;
+  opts.symbolic_caches = symbolic_caches;
   engine::Engine eng(TravelEngineSpec(), opts);
   for (size_t i = 0; i < instances; ++i) {
     CDES_CHECK(eng.Submit(ScriptFor(i)).ok());
@@ -122,7 +124,54 @@ void PrintEngineSummary(obs::GuardProfiler* profiler) {
     if (shards == 4) {
       bench::BenchMetrics().gauge("engine.speedup.shards4_vs_1")->Set(speedup);
     }
+    if (shards == 1) {
+      // Symbolic-cache effectiveness of a whole engine run (post-Stop merge
+      // of the shard registries). CI asserts the hit rate is positive — a
+      // zero here means the shard-shared memoization silently unplugged.
+      bench::BenchMetrics()
+          .gauge("guards.reduction_cache_hit_rate")
+          ->Set(snap.ReductionCacheHitRate());
+      bench::BenchMetrics()
+          .gauge("guards.reduction_cache_hits")
+          ->Set(static_cast<double>(snap.reduction_cache_hits));
+      bench::BenchMetrics()
+          .gauge("guards.reduction_cache_misses")
+          ->Set(static_cast<double>(snap.reduction_cache_misses));
+      bench::BenchMetrics()
+          .gauge("algebra.residuation_cache_hits")
+          ->Set(static_cast<double>(snap.residuation_cache_hits));
+      bench::BenchMetrics()
+          .gauge("algebra.residuation_cache_misses")
+          ->Set(static_cast<double>(snap.residuation_cache_misses));
+      std::printf("  symbolic caches (1 shard): reduction %.1f%% hit "
+                  "(%llu/%llu), residuation %llu/%llu hit\n",
+                  100.0 * snap.ReductionCacheHitRate(),
+                  static_cast<unsigned long long>(snap.reduction_cache_hits),
+                  static_cast<unsigned long long>(snap.reduction_cache_hits +
+                                                  snap.reduction_cache_misses),
+                  static_cast<unsigned long long>(snap.residuation_cache_hits),
+                  static_cast<unsigned long long>(
+                      snap.residuation_cache_hits +
+                      snap.residuation_cache_misses));
+    }
   }
+
+  // Before/after ablation: the same 1-shard run with the symbolic caches
+  // unplugged (pre-PR from-scratch reductions, folds, and evaluations).
+  uint64_t events = 0;
+  double off_rate = RunEngine(1, kInstances, &events, profiler, nullptr,
+                              /*symbolic_caches=*/false);
+  double on_rate =
+      bench::BenchMetrics().gauge("engine.events_per_sec.shards1")->value();
+  bench::BenchMetrics()
+      .gauge("engine.events_per_sec.shards1.caches_off")
+      ->Set(off_rate);
+  bench::BenchMetrics()
+      .gauge("engine.symbolic_cache_speedup.shards1")
+      ->Set(off_rate > 0 ? on_rate / off_rate : 0);
+  std::printf("1 shard, symbolic caches off: %.0f events/sec  =>  caches "
+              "give %.2fx\n",
+              off_rate, off_rate > 0 ? on_rate / off_rate : 0);
   std::printf("\n");
 }
 
@@ -214,7 +263,10 @@ int main(int argc, char** argv) {
   cdes::PrintEngineSummary(profile ? &profiler : nullptr);
   benchmark::RunSpecifiedBenchmarks();
   if (profile) {
-    std::printf("\n-- guard profile --\n%s", profiler.TopKReport(10).c_str());
+    cdes::obs::SymbolicCacheStats cache_stats =
+        cdes::obs::CacheStatsFrom(cdes::bench::BenchMetrics());
+    std::printf("\n-- guard profile --\n%s",
+                profiler.TopKReport(10, &cache_stats).c_str());
     if (profile_path != nullptr) {
       std::string collapsed = profiler.CollapsedStacks();
       std::FILE* f = std::fopen(profile_path, "w");

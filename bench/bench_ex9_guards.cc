@@ -6,12 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "algebra/generator.h"
 #include "common/strings.h"
 #include "guards/context.h"
 #include "guards/workflow.h"
+#include "runtime/event_actor.h"
+#include "temporal/flat_eval.h"
+#include "temporal/reduction.h"
 #include "temporal/simplify.h"
 #include "bench_util.h"
 
@@ -151,6 +155,121 @@ void BM_SynthesizeDisjointSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeDisjointSplit)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+/// The steady-state fixture: one long-lived shard context whose compiled
+/// OrderedIfAll(5) guards see the same announcement traffic from every
+/// resident instance. Instance k>1's reductions are pure ReductionCache
+/// lookups — the shape the shard-shared memo is built for.
+struct SteadyStateFixture {
+  WorkflowContext ctx;
+  std::vector<SymbolId> symbols;
+  std::vector<const Guard*> guards;
+  std::vector<EventLiteral> trace;
+
+  SteadyStateFixture() {
+    symbols = MakeSymbols(&ctx, 5);
+    const Expr* d = OrderedIfAll(ctx.exprs(), symbols);
+    for (SymbolId s : symbols) {
+      guards.push_back(
+          ctx.synthesizer()->SynthesizeSimplified(d, EventLiteral::Positive(s)));
+      trace.push_back(EventLiteral::Positive(s));
+    }
+  }
+
+  /// One instance's worth of assimilation: every guard folded over the
+  /// whole occurrence trace. Returns a checksum so nothing is elided.
+  size_t ReplayOnce(ReductionCache* cache) {
+    size_t checksum = 0;
+    for (const Guard* g : guards) {
+      for (EventLiteral l : trace) {
+        g = ReduceGuard(ctx.guards(), ctx.residuator(), g,
+                        {AnnouncementKind::kOccurred, l}, cache);
+      }
+      checksum += g->id();
+    }
+    return checksum;
+  }
+};
+
+void BM_SteadyStateReduceUncached(benchmark::State& state) {
+  SteadyStateFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ReplayOnce(nullptr));
+  }
+  state.SetLabel("pre-PR behavior: full recursive reduction walk per event");
+}
+BENCHMARK(BM_SteadyStateReduceUncached);
+
+void BM_SteadyStateReduceCached(benchmark::State& state) {
+  SteadyStateFixture fx;
+  ReductionCache cache;
+  fx.ReplayOnce(&cache);  // warm: first instance pays the misses
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ReplayOnce(&cache));
+  }
+  state.SetLabel("shard-shared ReductionCache, steady state (all hits)");
+}
+BENCHMARK(BM_SteadyStateReduceCached);
+
+void BM_EvaluateNowRecursive(benchmark::State& state) {
+  SteadyStateFixture fx;
+  const Guard* g = fx.guards.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EventActor::EvaluateNow(g));
+  }
+  state.SetLabel("recursive walk (pre-PR)");
+}
+BENCHMARK(BM_EvaluateNowRecursive);
+
+void BM_EvaluateNowFlat(benchmark::State& state) {
+  SteadyStateFixture fx;
+  const Guard* g = fx.guards.back();
+  FlatEvaluator flat;
+  flat.EvaluateNow(g);  // lower + memoize once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat.EvaluateNow(g));
+  }
+  state.SetLabel("compiled flat program, memoized");
+}
+BENCHMARK(BM_EvaluateNowFlat);
+
+/// Chrono-measured steady-state comparison exported into BENCH_ex9_guards
+/// .json, so CI can diff the cached/uncached ratio without scraping the
+/// google-benchmark console table.
+void RecordSteadyStateGauges() {
+  using Clock = std::chrono::steady_clock;
+  SteadyStateFixture fx;
+  const int kRounds = 20000;
+
+  auto t0 = Clock::now();
+  for (int i = 0; i < kRounds; ++i) benchmark::DoNotOptimize(fx.ReplayOnce(nullptr));
+  auto t1 = Clock::now();
+
+  ReductionCache cache;
+  fx.ReplayOnce(&cache);  // warm
+  auto t2 = Clock::now();
+  for (int i = 0; i < kRounds; ++i) benchmark::DoNotOptimize(fx.ReplayOnce(&cache));
+  auto t3 = Clock::now();
+
+  double uncached_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kRounds;
+  double cached_ns =
+      std::chrono::duration<double, std::nano>(t3 - t2).count() / kRounds;
+  auto& m = bench::BenchMetrics();
+  m.gauge("ex9.steady_state_reduce_uncached_ns")->Set(uncached_ns);
+  m.gauge("ex9.steady_state_reduce_cached_ns")->Set(cached_ns);
+  m.gauge("ex9.steady_state_reduce_speedup")
+      ->Set(cached_ns > 0 ? uncached_ns / cached_ns : 0);
+  m.gauge("guards.reduction_cache_hit_rate")
+      ->Set(static_cast<double>(cache.hits()) /
+            static_cast<double>(cache.hits() + cache.misses()));
+  std::printf(
+      "steady-state assimilation: %.0f ns/instance uncached, %.0f ns/instance "
+      "cached  =>  %.1fx (reduction cache %.1f%% hit)\n",
+      uncached_ns, cached_ns, uncached_ns / cached_ns,
+      100.0 * static_cast<double>(cache.hits()) /
+          static_cast<double>(cache.hits() + cache.misses()));
+}
+
 void BM_CompileTravelWorkflow(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -186,6 +305,7 @@ int main(int argc, char** argv) {
   cdes::PrintExample9();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::RecordSteadyStateGauges();
   cdes::bench::ExportBenchMetrics("ex9_guards");
   return 0;
 }

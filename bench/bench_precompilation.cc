@@ -165,6 +165,196 @@ void BM_EndToEndAttemptNoSimplify(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndAttemptNoSimplify);
 
+/// An 8-stage pipeline: precompiled guards are an order of magnitude larger
+/// than the travel workflow's, so per-event assimilation cost is dominated
+/// by the reduction walk the ReductionCache short-circuits.
+constexpr char kPipelineSpec[] = R"(
+workflow pipeline {
+  agent a @ site(0);
+  event e0 agent(a);
+  event e1 agent(a);
+  event e2 agent(a);
+  event e3 agent(a);
+  event e4 agent(a);
+  event e5 agent(a);
+  event e6 agent(a);
+  event e7 agent(a);
+  dep d: e0 . e1 . e2 . e3 . e4 . e5 . e6 . e7;
+}
+)";
+
+/// Steady-state announcement assimilation against the pipeline's
+/// precompiled guards: what a warm shard does for every resident instance
+/// after the first. Cached mode replays through the shard-shared
+/// ReductionCache; uncached is the pre-PR recursive walk.
+struct SteadyStateAssimilation {
+  WorkflowContext ctx;
+  std::vector<const Guard*> guards;
+  std::vector<EventLiteral> trace;
+
+  SteadyStateAssimilation() {
+    auto parsed = ParseWorkflow(&ctx, kPipelineSpec);
+    CDES_CHECK(parsed.ok());
+    CompiledWorkflow compiled = CompileWorkflow(&ctx, parsed.value().spec);
+    for (int i = 0; i < 8; ++i) {
+      EventLiteral lit =
+          ctx.alphabet()->ParseLiteral(StrCat("e", i)).value();
+      guards.push_back(compiled.GuardFor(lit));
+      trace.push_back(lit);
+    }
+  }
+
+  size_t ReplayOnce(ReductionCache* cache) {
+    size_t checksum = 0;
+    for (const Guard* g : guards) {
+      for (EventLiteral l : trace) {
+        g = ReduceGuard(ctx.guards(), ctx.residuator(), g,
+                        {AnnouncementKind::kOccurred, l}, cache);
+      }
+      checksum += g->id();
+    }
+    return checksum;
+  }
+};
+
+void BM_SteadyStateAssimilationUncached(benchmark::State& state) {
+  SteadyStateAssimilation fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ReplayOnce(nullptr));
+  }
+  state.SetLabel("pre-PR: recursive reduction walk per announcement");
+}
+BENCHMARK(BM_SteadyStateAssimilationUncached);
+
+void BM_SteadyStateAssimilationCached(benchmark::State& state) {
+  SteadyStateAssimilation fx;
+  ReductionCache cache;
+  fx.ReplayOnce(&cache);  // first instance pays the misses
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ReplayOnce(&cache));
+  }
+  state.SetLabel("warm shard-shared ReductionCache (steady state)");
+}
+BENCHMARK(BM_SteadyStateAssimilationCached);
+
+/// Steady-state scheduler fixture: one shard-like WorkflowContext hosting
+/// many travel instances back to back. With symbolic_caches on, every
+/// instance after the first assimilates announcements via ReductionCache
+/// hits and replays hold-back folds from memoized prefixes — the shape of a
+/// warm engine shard. Off reproduces the pre-PR from-scratch walks.
+struct SteadyStateScheduler {
+  WorkflowContext ctx;
+  ParsedWorkflow workflow;
+  std::vector<EventLiteral> attempts;
+
+  SteadyStateScheduler() {
+    auto parsed = ParseWorkflow(&ctx, bench::kTravelSpec);
+    CDES_CHECK(parsed.ok());
+    workflow = std::move(parsed).value();
+    for (const char* name : {"s_buy", "c_book", "c_buy"}) {
+      attempts.push_back(ctx.alphabet()->ParseLiteral(name).value());
+    }
+  }
+
+  size_t RunInstance(bool symbolic_caches) {
+    Simulator sim;
+    NetworkOptions nopts;
+    Network net(&sim, 2, nopts);
+    GuardSchedulerOptions options;
+    options.symbolic_caches = symbolic_caches;
+    GuardScheduler sched(&ctx, workflow, &net, options);
+    for (EventLiteral lit : attempts) {
+      sched.Attempt(lit, {});
+      sim.Run();
+    }
+    return sched.history().size();
+  }
+};
+
+void BM_SteadyStateInstanceUncached(benchmark::State& state) {
+  SteadyStateScheduler fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.RunInstance(false));
+  }
+  state.SetLabel("pre-PR: from-scratch reductions and hold-back folds");
+}
+BENCHMARK(BM_SteadyStateInstanceUncached);
+
+void BM_SteadyStateInstanceCached(benchmark::State& state) {
+  SteadyStateScheduler fx;
+  fx.RunInstance(true);  // warm the shard-shared caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.RunInstance(true));
+  }
+  state.SetLabel("warm shard: memoized reductions + flat evaluation");
+}
+BENCHMARK(BM_SteadyStateInstanceCached);
+
+/// Chrono-measured steady-state comparison exported into
+/// BENCH_precompilation.json for CI diffing (same pattern as bench_ex9).
+void RecordSteadyStateGauges() {
+  using Clock = std::chrono::steady_clock;
+  auto& m = bench::BenchMetrics();
+  {
+    SteadyStateAssimilation fx;
+    const int kRounds = 20000;
+    auto t0 = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      benchmark::DoNotOptimize(fx.ReplayOnce(nullptr));
+    }
+    auto t1 = Clock::now();
+    ReductionCache cache;
+    fx.ReplayOnce(&cache);  // warm
+    auto t2 = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      benchmark::DoNotOptimize(fx.ReplayOnce(&cache));
+    }
+    auto t3 = Clock::now();
+    double uncached_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kRounds;
+    double cached_ns =
+        std::chrono::duration<double, std::nano>(t3 - t2).count() / kRounds;
+    m.gauge("precompilation.steady_state_assimilation_uncached_ns")
+        ->Set(uncached_ns);
+    m.gauge("precompilation.steady_state_assimilation_cached_ns")
+        ->Set(cached_ns);
+    m.gauge("precompilation.steady_state_assimilation_speedup")
+        ->Set(cached_ns > 0 ? uncached_ns / cached_ns : 0);
+    std::printf(
+        "steady-state assimilation (pipeline/8): %.0f ns uncached, %.0f ns "
+        "cached  =>  %.1fx\n",
+        uncached_ns, cached_ns, uncached_ns / cached_ns);
+  }
+  {
+    SteadyStateScheduler fx;
+    const int kRounds = 3000;
+    auto t0 = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      benchmark::DoNotOptimize(fx.RunInstance(false));
+    }
+    auto t1 = Clock::now();
+    fx.RunInstance(true);  // warm
+    auto t2 = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      benchmark::DoNotOptimize(fx.RunInstance(true));
+    }
+    auto t3 = Clock::now();
+    double uncached_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kRounds;
+    double cached_ns =
+        std::chrono::duration<double, std::nano>(t3 - t2).count() / kRounds;
+    m.gauge("precompilation.steady_state_instance_uncached_ns")
+        ->Set(uncached_ns);
+    m.gauge("precompilation.steady_state_instance_cached_ns")->Set(cached_ns);
+    m.gauge("precompilation.steady_state_instance_speedup")
+        ->Set(cached_ns > 0 ? uncached_ns / cached_ns : 0);
+    std::printf(
+        "steady-state instance: %.0f ns uncached, %.0f ns cached  =>  %.2fx "
+        "(full scheduler turn incl. simulated messaging)\n",
+        uncached_ns, cached_ns, uncached_ns / cached_ns);
+  }
+}
+
 void BM_EndToEndAttempt(benchmark::State& state) {
   // Full per-workflow cost through the distributed scheduler, dominated by
   // simulated message handling rather than symbolic work once compiled.
@@ -195,6 +385,7 @@ int main(int argc, char** argv) {
   cdes::PrintAmortization();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  cdes::RecordSteadyStateGauges();
   cdes::bench::ExportBenchMetrics("precompilation");
   return 0;
 }

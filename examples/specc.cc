@@ -278,8 +278,13 @@ int main(int argc, char** argv) {
   }
 
   if (profiler != nullptr) {
+    obs::SymbolicCacheStats cache_stats;
+    cache_stats.reduction_hits = ctx.reduction_cache()->hits();
+    cache_stats.reduction_misses = ctx.reduction_cache()->misses();
+    cache_stats.residuation_hits = ctx.residuator()->cache_hits();
+    cache_stats.residuation_misses = ctx.residuator()->cache_misses();
     std::printf("\n-- guard synthesis profile --\n%s",
-                profiler->TopKReport(10).c_str());
+                profiler->TopKReport(10, &cache_stats).c_str());
     if (profile_path != nullptr) {
       std::string collapsed = profiler->CollapsedStacks();
       std::FILE* f = std::fopen(profile_path, "w");

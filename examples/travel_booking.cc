@@ -68,8 +68,10 @@ struct CliOptions {
 };
 
 /// Prints the hotspot table and, when requested, writes collapsed stacks.
-int DumpProfile(const cdes::obs::GuardProfiler& profiler, const char* path) {
-  std::printf("\n-- guard profile --\n%s", profiler.TopKReport(10).c_str());
+int DumpProfile(const cdes::obs::GuardProfiler& profiler, const char* path,
+                const cdes::obs::SymbolicCacheStats* caches = nullptr) {
+  std::printf("\n-- guard profile --\n%s",
+              profiler.TopKReport(10, caches).c_str());
   if (path == nullptr) return 0;
   std::string collapsed = profiler.CollapsedStacks();
   std::FILE* f = std::fopen(path, "w");
@@ -141,7 +143,12 @@ int RunEngineMode(size_t instances, size_t shards, const CliOptions& cli) {
     std::printf("telemetry: JSONL -> %s (view with cdes-top)\n",
                 cli.telemetry_path);
   }
-  if (cli.profile && DumpProfile(profiler, cli.profile_path) != 0) return 1;
+  if (cli.profile) {
+    obs::MetricsRegistry merged;
+    eng.MergeMetricsInto(&merged);
+    obs::SymbolicCacheStats cache_stats = obs::CacheStatsFrom(merged);
+    if (DumpProfile(profiler, cli.profile_path, &cache_stats) != 0) return 1;
+  }
   if (cli.prom_path != nullptr) {
     obs::MetricsRegistry prom_registry;
     eng.MergeMetricsInto(&prom_registry);

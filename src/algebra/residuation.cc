@@ -73,7 +73,11 @@ const Expr* Residuator::Residuate(const Expr* e, EventLiteral x) {
 const Expr* Residuator::ResiduateNormal(const Expr* e, EventLiteral x) {
   auto key = std::make_pair(e, x);
   auto it = resid_cache_.find(key);
-  if (it != resid_cache_.end()) return it->second;
+  if (it != resid_cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
 
   const Expr* result = nullptr;
   switch (e->kind()) {

@@ -1,6 +1,7 @@
 #ifndef CDES_ALGEBRA_RESIDUATION_H_
 #define CDES_ALGEBRA_RESIDUATION_H_
 
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 #include <utility>
@@ -51,6 +52,13 @@ class Residuator {
   /// lookup each call already performs.
   uint64_t residuate_calls() const { return residuate_calls_; }
 
+  /// Memo effectiveness of the per-node residuation cache: a hit means a
+  /// (normal-form node, literal) pair was answered without rule application.
+  /// Exported to the obs layer by the scheduler/engine as
+  /// `algebra.residuation_cache_{hits,misses}`.
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
   /// Residuates by every event of `u` in order: ((E/u1)/u2)/.../un.
   const Expr* ResiduateTrace(const Expr* e, const Trace& u);
 
@@ -59,10 +67,27 @@ class Residuator {
  private:
   const Expr* ResiduateNormal(const Expr* e, EventLiteral x);
 
+  /// (interned node, literal) key for the residuation memo. Nodes are
+  /// hash-consed, so mixing the pointer with the literal's dense index
+  /// distributes well; the unordered_map replaces a red-black tree whose
+  /// ~log(n) pointer-chasing probes sat directly on the assimilation path.
+  struct ResidKeyHash {
+    size_t operator()(const std::pair<const Expr*, EventLiteral>& k) const {
+      size_t h = std::hash<const void*>()(k.first);
+      h ^= std::hash<uint32_t>()(k.second.index()) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
   ExprArena* arena_;
   uint64_t residuate_calls_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
   std::unordered_map<const Expr*, const Expr*> normal_cache_;
-  std::map<std::pair<const Expr*, EventLiteral>, const Expr*> resid_cache_;
+  std::unordered_map<std::pair<const Expr*, EventLiteral>, const Expr*,
+                     ResidKeyHash>
+      resid_cache_;
 };
 
 /// Model-theoretic residuation (Semantics 6), used as the soundness oracle

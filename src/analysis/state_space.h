@@ -64,7 +64,12 @@ struct CheckStateHash {
 class StateSpace {
  public:
   /// Aliases `ctx` and `compiled`; both must outlive the state space.
-  StateSpace(WorkflowContext* ctx, const CompiledWorkflow& compiled);
+  /// `symbolic_caches` routes guard reduction through the context's
+  /// shard-shared ReductionCache and CommitNow through the flat evaluator's
+  /// memo; off reproduces the plain recursive walks (successor states are
+  /// bitwise identical either way — the equivalence property tests pin it).
+  StateSpace(WorkflowContext* ctx, const CompiledWorkflow& compiled,
+             bool symbolic_caches = true);
 
   /// The workflow's symbols in id order; state bit i refers to symbols()[i].
   const std::vector<SymbolId>& symbols() const { return symbols_; }
@@ -134,6 +139,8 @@ class StateSpace {
 
   WorkflowContext* ctx_;
   const CompiledWorkflow& compiled_;
+  ReductionCache* cache_ = nullptr;  // null ⇒ unmemoized reduction
+  FlatEvaluator* flat_ = nullptr;    // null ⇒ recursive CommitNow
   std::vector<SymbolId> symbols_;
   std::unordered_map<SymbolId, size_t> symbol_index_;
   std::vector<const Expr*> deps_;  // normal forms, spec order

@@ -43,6 +43,12 @@ void EngineMetricsSnapshot::PublishTo(obs::MetricsRegistry* registry) const {
   registry->gauge("engine.sim_steps")->Set(static_cast<double>(sim_steps));
   registry->gauge("engine.wall_seconds")->Set(wall_seconds);
   registry->gauge("engine.events_per_sec")->Set(events_per_sec);
+  registry->gauge("guards.reduction_cache_hit_rate")
+      ->Set(ReductionCacheHitRate());
+  registry->gauge("algebra.residuation_cache_hits")
+      ->Set(static_cast<double>(residuation_cache_hits));
+  registry->gauge("algebra.residuation_cache_misses")
+      ->Set(static_cast<double>(residuation_cache_misses));
   for (const HistogramSummary& h : histograms) {
     registry->gauge(StrCat(h.name, ".count"))
         ->Set(static_cast<double>(h.count));
@@ -80,6 +86,15 @@ std::string EngineMetricsSnapshot::ToString() const {
                   " mean=", JsonDouble(h.mean), " p50=", h.p50,
                   " p99=", h.p99, " max=", h.max, "\n");
   }
+  if (reduction_cache_hits + reduction_cache_misses +
+          residuation_cache_hits + residuation_cache_misses >
+      0) {
+    out += StrCat("  symbolic caches: reduction ", reduction_cache_hits, "/",
+                  reduction_cache_hits + reduction_cache_misses,
+                  " hit, residuation ", residuation_cache_hits, "/",
+                  residuation_cache_hits + residuation_cache_misses,
+                  " hit\n");
+  }
   return out;
 }
 
@@ -114,6 +129,10 @@ std::string EngineMetricsSnapshot::ToJsonLine(
                   ", \"p99\": ", h.p99, ", \"max\": ", h.max, "}");
   }
   out += "}";
+  out += StrCat(", \"caches\": {\"reduction_hits\": ", reduction_cache_hits,
+                ", \"reduction_misses\": ", reduction_cache_misses,
+                ", \"residuation_hits\": ", residuation_cache_hits,
+                ", \"residuation_misses\": ", residuation_cache_misses, "}");
   if (profiler != nullptr) {
     out += ", \"hot_guards\": [";
     std::vector<obs::GuardSiteStats> top = profiler->TopK(5);
@@ -156,6 +175,7 @@ Engine::Engine(EngineSpecRef spec, const EngineOptions& options)
     sopts.enable_promises = options_.enable_promises;
     sopts.auto_trigger = options_.auto_trigger;
     sopts.simplify_guards = options_.simplify_guards;
+    sopts.symbolic_caches = options_.symbolic_caches;
     sopts.durable_logs = options_.durable_logs;
     sopts.wal_dir = options_.wal_dir;
     sopts.checkpoint_every = options_.checkpoint_every;
@@ -347,6 +367,11 @@ EngineMetricsSnapshot Engine::Metrics() const {
                             : 0;
   obs::MetricsRegistry merged;
   MergeMetricsInto(&merged);
+  obs::SymbolicCacheStats caches = obs::CacheStatsFrom(merged);
+  snap.reduction_cache_hits = caches.reduction_hits;
+  snap.reduction_cache_misses = caches.reduction_misses;
+  snap.residuation_cache_hits = caches.residuation_hits;
+  snap.residuation_cache_misses = caches.residuation_misses;
   for (const auto& [name, h] : merged.histograms()) {
     EngineMetricsSnapshot::HistogramSummary summary;
     summary.name = name;

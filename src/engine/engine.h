@@ -42,6 +42,9 @@ struct EngineOptions {
   bool enable_promises = true;
   bool auto_trigger = true;
   bool simplify_guards = true;
+  /// Shard-shared symbolic caches (reduction memo + flat evaluation); off
+  /// reproduces pre-memoization behavior for ablation benchmarks.
+  bool symbolic_caches = true;
   /// Keep one EventLog per instance and return its serialized form in the
   /// InstanceResult, enabling Engine::Recover after a crash.
   bool durable_logs = false;
@@ -116,6 +119,22 @@ struct EngineMetricsSnapshot {
     uint64_t max = 0;
   };
   std::vector<HistogramSummary> histograms;
+
+  /// Shard-shared symbolic-cache traffic, merged across shards. Populated
+  /// from the shard registries, which are worker-confined until Stop(): all
+  /// zero while the engine is live, real on the final (post-Stop) snapshot
+  /// and telemetry line.
+  uint64_t reduction_cache_hits = 0;
+  uint64_t reduction_cache_misses = 0;
+  uint64_t residuation_cache_hits = 0;
+  uint64_t residuation_cache_misses = 0;
+  /// hits / (hits + misses); 0 with no traffic.
+  double ReductionCacheHitRate() const {
+    uint64_t total = reduction_cache_hits + reduction_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(reduction_cache_hits) /
+                            static_cast<double>(total);
+  }
 
   /// Publishes the snapshot as "engine.*" gauges (plus per-shard
   /// "engine.shard<k>.*" and "<histogram>.p50/.p99/.mean/.count" percentile

@@ -140,10 +140,23 @@ void Shard::ThreadMain() {
         ++it;
       }
     }
+    PublishCacheGauges();
   }
   // Stop barrier: whatever group commit still holds goes to disk before
   // the worker exits.
   if (wal_ != nullptr) wal_->FlushAll();
+  PublishCacheGauges();
+}
+
+void Shard::PublishCacheGauges() {
+  // The residuator is pure algebra with raw hit/miss tallies; mirror them
+  // into gauges here so live telemetry and the post-Stop merged registry
+  // both see symbolic-cache effectiveness without obs leaking into algebra/.
+  const Residuator* res = ctx_->residuator();
+  metrics_.gauge("algebra.residuation_cache_hits")
+      ->Set(static_cast<double>(res->cache_hits()));
+  metrics_.gauge("algebra.residuation_cache_misses")
+      ->Set(static_cast<double>(res->cache_misses()));
 }
 
 std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
@@ -167,6 +180,7 @@ std::unique_ptr<Shard::Resident> Shard::AdmitInstance(EngineCommand cmd) {
   sopts.enable_promises = options_.enable_promises;
   sopts.auto_trigger = options_.auto_trigger;
   sopts.simplify_guards = options_.simplify_guards;
+  sopts.symbolic_caches = options_.symbolic_caches;
   sopts.metrics = &metrics_;
   sopts.lifecycle_instrumentation = options_.lifecycle_metrics;
   sopts.profiler = options_.profiler;

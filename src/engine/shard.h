@@ -44,6 +44,9 @@ struct ShardOptions {
   bool enable_promises = true;
   bool auto_trigger = true;
   bool simplify_guards = true;
+  /// Shard-shared symbolic caches (reduction memo + flat evaluation); off
+  /// reproduces pre-memoization behavior for ablation benchmarks.
+  bool symbolic_caches = true;
   /// Keep a per-instance EventLog and ship its serialized form in the
   /// result (enables Engine::Recover).
   bool durable_logs = false;
@@ -152,6 +155,8 @@ class Shard {
   };
 
   void ThreadMain();
+  /// Mirrors the residuator's raw hit/miss tallies into shard gauges.
+  void PublishCacheGauges();
   /// Builds the instance world for a kRun/kRecover command.
   std::unique_ptr<Resident> AdmitInstance(EngineCommand cmd);
   /// One cooperative turn; returns true when the instance is finished.

@@ -5,7 +5,9 @@
 #include "algebra/expr.h"
 #include "algebra/residuation.h"
 #include "guards/synthesis.h"
+#include "temporal/flat_eval.h"
 #include "temporal/guard.h"
+#include "temporal/reduction.h"
 
 namespace cdes {
 
@@ -35,6 +37,14 @@ class WorkflowContext {
   GuardArena* guards() { return &guards_; }
   Residuator* residuator() { return &residuator_; }
   GuardSynthesizer* synthesizer() { return &synthesizer_; }
+  /// The shard-shared (guard, announcement) → reduced-guard memo; thread-
+  /// confined with the arenas. Consumers that want memoized assimilation
+  /// pass this to ReduceGuard; the cache is correct to share across every
+  /// instance built over this context.
+  ReductionCache* reduction_cache() { return &reduction_cache_; }
+  /// Flat compiled evaluation over this context's guards: postorder
+  /// programs plus memoized EvaluateNow/CommitNow projections.
+  FlatEvaluator* flat_evaluator() { return &flat_evaluator_; }
 
  private:
   Alphabet alphabet_;
@@ -42,6 +52,8 @@ class WorkflowContext {
   GuardArena guards_;
   Residuator residuator_;
   GuardSynthesizer synthesizer_;
+  ReductionCache reduction_cache_;
+  FlatEvaluator flat_evaluator_;
 };
 
 }  // namespace cdes

@@ -1,7 +1,7 @@
 #ifndef CDES_GUARDS_SYNTHESIS_H_
 #define CDES_GUARDS_SYNTHESIS_H_
 
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -60,9 +60,20 @@ class GuardSynthesizer {
  private:
   const Guard* SynthesizeImpl(const Expr* d, EventLiteral e);
 
+  struct SynthKeyHash {
+    size_t operator()(const std::pair<const Expr*, EventLiteral>& k) const {
+      size_t h = std::hash<const void*>()(k.first);
+      h ^= std::hash<uint32_t>()(k.second.index()) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
   GuardArena* guards_;
   Residuator* residuator_;
-  std::map<std::pair<const Expr*, EventLiteral>, const Guard*> cache_;
+  std::unordered_map<std::pair<const Expr*, EventLiteral>, const Guard*,
+                     SynthKeyHash>
+      cache_;
 };
 
 }  // namespace cdes

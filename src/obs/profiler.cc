@@ -6,8 +6,30 @@
 #include <tuple>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace cdes::obs {
+
+SymbolicCacheStats CacheStatsFrom(const MetricsRegistry& metrics) {
+  // The scheduler exports the reduction tallies as counters; engine shards
+  // and bench snapshots republish both caches as gauges. Accept either.
+  auto value = [&metrics](std::string_view name) -> uint64_t {
+    auto c = metrics.counters().find(name);
+    if (c != metrics.counters().end() && c->second->value() > 0) {
+      return c->second->value();
+    }
+    auto g = metrics.gauges().find(name);
+    return g == metrics.gauges().end()
+               ? 0
+               : static_cast<uint64_t>(g->second->value());
+  };
+  SymbolicCacheStats stats;
+  stats.reduction_hits = value("guards.reduction_cache_hits");
+  stats.reduction_misses = value("guards.reduction_cache_misses");
+  stats.residuation_hits = value("algebra.residuation_cache_hits");
+  stats.residuation_misses = value("algebra.residuation_cache_misses");
+  return stats;
+}
 
 double GuardSiteStats::EstimatedWallNs() const {
   if (sampled_evaluations == 0) return 0.0;
@@ -108,7 +130,8 @@ std::optional<GuardSiteStats> GuardProfiler::HottestFor(
   return best;
 }
 
-std::string GuardProfiler::TopKReport(size_t k) const {
+std::string GuardProfiler::TopKReport(size_t k,
+                                      const SymbolicCacheStats* caches) const {
   std::vector<GuardSiteStats> top = TopK(k);
   std::string sampling = sample_every_ == 1
                              ? std::string("always")
@@ -131,6 +154,27 @@ std::string GuardProfiler::TopKReport(size_t k) const {
     out += buf;
     out += s.Label();
     out += "\n";
+  }
+  if (caches != nullptr && caches->Any()) {
+    auto rate = [](uint64_t hits, uint64_t misses) {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    };
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  symbolic caches: reduction %.1f%% hit (%llu/%llu), "
+        "residuation %.1f%% hit (%llu/%llu)\n",
+        rate(caches->reduction_hits, caches->reduction_misses),
+        static_cast<unsigned long long>(caches->reduction_hits),
+        static_cast<unsigned long long>(caches->reduction_hits +
+                                        caches->reduction_misses),
+        rate(caches->residuation_hits, caches->residuation_misses),
+        static_cast<unsigned long long>(caches->residuation_hits),
+        static_cast<unsigned long long>(caches->residuation_hits +
+                                        caches->residuation_misses));
+    out += buf;
   }
   return out;
 }

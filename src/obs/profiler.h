@@ -47,6 +47,30 @@ struct GuardSiteStats {
   std::string Label() const;
 };
 
+/// Hit/miss tallies of the shard-shared symbolic caches, gathered by the
+/// caller (the reduction cache lives in guards/, the residuation cache in
+/// algebra/ — the profiler only formats them). Passed to TopKReport so
+/// hotspot tables show how much of the ranked work was actually memoized.
+struct SymbolicCacheStats {
+  uint64_t reduction_hits = 0;
+  uint64_t reduction_misses = 0;
+  uint64_t residuation_hits = 0;
+  uint64_t residuation_misses = 0;
+  bool Any() const {
+    return reduction_hits + reduction_misses + residuation_hits +
+               residuation_misses >
+           0;
+  }
+};
+
+class MetricsRegistry;
+
+/// Reads the symbolic-cache tallies a running system exported into
+/// `metrics` — the `guards.reduction_cache_*` counters the scheduler
+/// attaches and the `algebra.residuation_cache_*` gauges the engine shards
+/// publish. Absent entries read as zero.
+SymbolicCacheStats CacheStatsFrom(const MetricsRegistry& metrics);
+
 /// Per-guard-site cost accounting keyed by (dependency, event), with spec
 /// source attribution threaded from the parser. One profiler is shared by
 /// every component that evaluates guards of a workflow — the compiler
@@ -119,8 +143,11 @@ class GuardProfiler {
   /// The most expensive site whose event name equals `event`.
   std::optional<GuardSiteStats> HottestFor(std::string_view event) const;
 
-  /// Human-readable hotspot table with file:line attribution.
-  std::string TopKReport(size_t k = 10) const;
+  /// Human-readable hotspot table with file:line attribution. When `caches`
+  /// is non-null and has any traffic, a symbolic-cache effectiveness line
+  /// (hit rates of the reduction and residuation memos) is appended.
+  std::string TopKReport(size_t k = 10,
+                         const SymbolicCacheStats* caches = nullptr) const;
   /// Collapsed-stack format ("source;dependency;event weight" lines) for
   /// flamegraph.pl / speedscope; weight is estimated wall ns (falls back
   /// to Work() when sampling caught nothing).

@@ -45,11 +45,56 @@ EventActor::EventActor(ActorHost* host, SymbolId symbol, int site,
     : host_(host), symbol_(symbol), site_(site),
       positive_guard_(positive_guard), negative_guard_(negative_guard),
       positive_attrs_(positive_attrs), negative_attrs_(negative_attrs),
-      obs_(obs) {}
+      obs_(obs), cache_(host->reduction_cache()),
+      flat_(host->flat_evaluator()), incremental_(cache_ != nullptr) {}
+
+bool EventActor::Evaluate(const Guard* g) const {
+  return flat_ != nullptr ? flat_->EvaluateNow(g) : EvaluateNow(g);
+}
+
+const Guard* EventActor::HeardFold(EventLiteral literal) const {
+  std::vector<const Guard*>& chain =
+      literal.complemented() ? neg_chain_ : pos_chain_;
+  if (chain.empty()) chain.push_back(CompiledGuard(literal));
+  // Extend the memoized prefix: only arrivals past the chain's current
+  // length are folded, each exactly once over the actor's lifetime (absent
+  // out-of-order truncation).
+  while (chain.size() <= heard_.size()) {
+    const auto& [stamp, occurred] = heard_[chain.size() - 1];
+    chain.push_back(ReduceGuard(host_->guard_arena(), host_->residuator(),
+                                chain.back(),
+                                {AnnouncementKind::kOccurred, occurred},
+                                cache_));
+  }
+  return chain[heard_.size()];
+}
+
+void EventActor::TruncateFoldChains(size_t idx) {
+  // heard_[idx] changed, so folds of prefixes longer than idx are stale;
+  // chain[k] covers heard_[0..k), hence entries up to index idx survive.
+  if (pos_chain_.size() > idx + 1) pos_chain_.resize(idx + 1);
+  if (neg_chain_.size() > idx + 1) neg_chain_.resize(idx + 1);
+  for (Obligation& ob : obligations_) {
+    if (ob.chain.size() > idx + 1) ob.chain.resize(idx + 1);
+  }
+}
 
 const Guard* EventActor::CurrentGuard(EventLiteral literal) const {
   if (obs_ != nullptr && obs_->reduction_steps != nullptr) {
     obs_->reduction_steps->Observe(heard_.size() + promises_.size());
+  }
+  if (incremental_ && profile_ == nullptr) {
+    size_t slot = literal.complemented() ? 1 : 0;
+    if (current_memo_version_[slot] == version_) return current_memo_[slot];
+    const Guard* g = HeardFold(literal);
+    for (const auto& [promised, after] : promises_) {
+      g = ReduceGuard(host_->guard_arena(), host_->residuator(), g,
+                      {AnnouncementKind::kPromised, promised}, cache_);
+    }
+    g = DischargeDiamonds(g);
+    current_memo_[slot] = g;
+    current_memo_version_[slot] = version_;
+    return g;
   }
   if (profile_ != nullptr) {
     const std::vector<GuardProfile::Contribution>& contribs =
@@ -97,6 +142,23 @@ const Guard* EventActor::ReduceContribution(const Guard* g,
                            {AnnouncementKind::kPromised, promised}, nodes);
   }
   return g;
+}
+
+bool EventActor::FastPermitted(EventLiteral literal) const {
+  // The decided-literal bitmask fast path: for a ◇-free compiled guard,
+  // EvaluateNow of the fully assimilated CurrentGuard equals evaluating the
+  // compiled DAG directly against heard-set membership (□ℓ ↦ heard(ℓ),
+  // ¬ℓ ↦ ¬heard(ℓ)) — reduction by an occurrence decides exactly those
+  // atoms, and a promise only ever falsifies □ℓ̄ / verifies ¬ℓ̄, neither of
+  // which flips the optimistic outcome. Guards containing ◇ carry residual
+  // obligations whose discharge depends on fold order and held promises, so
+  // they take the reduced-guard path.
+  if (!incremental_ || flat_ == nullptr || profile_ != nullptr) return false;
+  const FlatProgram& p = flat_->ProgramFor(CompiledGuard(literal));
+  if (p.has_diamond) return false;
+  return p.EvaluateHeard(
+      [this](EventLiteral l) { return heard_literals_.count(l) != 0; },
+      flat_->scratch());
 }
 
 const Guard* EventActor::DischargeDiamonds(const Guard* g) const {
@@ -207,8 +269,13 @@ void EventActor::Attempt(EventLiteral literal, AttemptCallback done) {
                                         : Decision::kRejected);
     return;
   }
+  if (FastPermitted(literal)) {
+    Occur(literal);
+    if (done) done(Decision::kAccepted);
+    return;
+  }
   const Guard* g = CurrentGuard(literal);
-  if (EvaluateNow(g)) {
+  if (Evaluate(g)) {
     Occur(literal);
     if (done) done(Decision::kAccepted);
     return;
@@ -269,6 +336,7 @@ void EventActor::RestoreOccurrence(EventLiteral literal) {
 }
 
 const Guard* EventActor::HeardResidual(EventLiteral literal) const {
+  if (incremental_) return HeardFold(literal);
   const Guard* g = CompiledGuard(literal);
   for (const auto& [stamp, occurred] : heard_) {
     g = ReduceGuard(host_->guard_arena(), host_->residuator(), g,
@@ -285,6 +353,11 @@ void EventActor::RestoreBaseline(const Guard* positive, const Guard* negative) {
   // Profiler contributions decompose the *compiled* guards; against a
   // checkpointed baseline they would re-conjoin to the wrong guard.
   profile_ = nullptr;
+  // Fold chains anchor at the (replaced) baseline; drop any chain[0]
+  // initialized through an earlier introspective CurrentGuard call.
+  pos_chain_.clear();
+  neg_chain_.clear();
+  ++version_;
 }
 
 void EventActor::Receive(const RuntimeMessage& msg) {
@@ -295,12 +368,20 @@ void EventActor::Receive(const RuntimeMessage& msg) {
       // retransmission racing its ack) must be dropped here — folding it
       // into CurrentGuard again would residuate ◇-sequences by an event
       // that occurred only once, corrupting the reduced guard.
-      for (const auto& [stamp, occurred] : heard_) {
-        if (occurred == msg.literal) return;
+      if (incremental_) {
+        if (!heard_literals_.insert(msg.literal).second) return;
+      } else {
+        for (const auto& [stamp, occurred] : heard_) {
+          if (occurred == msg.literal) return;
+        }
       }
       auto entry = std::make_pair(msg.stamp, msg.literal);
-      heard_.insert(
-          std::upper_bound(heard_.begin(), heard_.end(), entry), entry);
+      auto pos = std::upper_bound(heard_.begin(), heard_.end(), entry);
+      if (incremental_) {
+        TruncateFoldChains(static_cast<size_t>(pos - heard_.begin()));
+        ++version_;
+      }
+      heard_.insert(pos, entry);
       ReviewObligations();
       Reevaluate();
       return;
@@ -308,6 +389,7 @@ void EventActor::Receive(const RuntimeMessage& msg) {
     case RuntimeMessageKind::kPromise: {
       std::set<EventLiteral>& after = promises_[msg.literal];
       after.insert(msg.after.begin(), msg.after.end());
+      ++version_;
       Reevaluate();
       return;
     }
@@ -352,8 +434,16 @@ void EventActor::Reevaluate() {
   while (changed && !decided_) {
     changed = false;
     for (size_t i = 0; i < parked_.size(); ++i) {
+      if (FastPermitted(parked_[i].literal)) {
+        Parked p = std::move(parked_[i]);
+        parked_.erase(parked_.begin() + i);
+        Occur(p.literal);
+        if (p.done) p.done(Decision::kAccepted);
+        changed = true;
+        break;  // decided_: remaining parked resolved by Occur
+      }
       const Guard* g = CurrentGuard(parked_[i].literal);
-      if (EvaluateNow(g)) {
+      if (Evaluate(g)) {
         Parked p = std::move(parked_[i]);
         parked_.erase(parked_.begin() + i);
         Occur(p.literal);
@@ -419,7 +509,7 @@ void EventActor::EmitNeeds(EventLiteral parked, const Guard* reduced) {
     // events "when necessary" (Example 4).
     const Guard* without = ReduceGuard(
         host_->guard_arena(), host_->residuator(), reduced,
-        {AnnouncementKind::kOccurred, need.Complemented()});
+        {AnnouncementKind::kOccurred, need.Complemented()}, cache_);
     if (!without->IsFalse()) continue;
     triggers_sent_.insert(need);
     RuntimeMessage trigger{RuntimeMessageKind::kTrigger, need,
@@ -446,25 +536,25 @@ bool EventActor::TryAnswerPromiseRequest(const RuntimeMessage& request) {
     for (EventLiteral implied : request.implied) {
       hypothetical =
           ReduceGuard(host_->guard_arena(), host_->residuator(), hypothetical,
-                      {AnnouncementKind::kOccurred, implied});
+                      {AnnouncementKind::kOccurred, implied}, cache_);
     }
     hypothetical = ReduceGuard(
         host_->guard_arena(), host_->residuator(), hypothetical,
-        {AnnouncementKind::kOccurred, request.requester});
+        {AnnouncementKind::kOccurred, request.requester}, cache_);
     // Re-apply held promises: the hypothetical occurrences may have
     // residuated a ◇-sequence down to something the promises we already
     // hold can discharge (e.g. ◇(ev2·ev1)/ev2 = ◇ev1 with ◇ev1 in hand).
     for (const auto& [promised, after] : promises_) {
       hypothetical =
           ReduceGuard(host_->guard_arena(), host_->residuator(), hypothetical,
-                      {AnnouncementKind::kPromised, promised});
+                      {AnnouncementKind::kPromised, promised}, cache_);
     }
     hypothetical = DischargeDiamonds(hypothetical);
     // Optimistic grant (EvaluateNow rather than the constant ⊤): residual
     // ¬-atoms are tolerated because, for synthesized guards, an event that
     // could falsify them is itself ordered after us (the verifier's
     // race-freedom property); residual ◇/□-atoms still block the grant.
-    if (!EvaluateNow(hypothetical)) return false;
+    if (!Evaluate(hypothetical)) return false;
     promises_made_.insert(made);
     // The promise carries order guarantees: our □-obligations and the
     // requester necessarily precede our occurrence.
@@ -507,15 +597,16 @@ bool EventActor::TryAnswerPromiseRequest(const RuntimeMessage& request) {
     const Guard* current = CurrentGuard(request.literal);
     const Guard* hypothetical =
         ReduceGuard(host_->guard_arena(), host_->residuator(), current,
-                    {AnnouncementKind::kOccurred, request.requester});
+                    {AnnouncementKind::kOccurred, request.requester}, cache_);
     if (!hypothetical->IsTrue()) return false;
     std::set<EventLiteral> after = ImpliedBoxes(current);
     after.insert(request.requester);
     promises_made_.insert(made);
     // Adopt the requester's residual as received; ReviewObligations folds
-    // the occurrence log into it afresh on every pass (see there for why
-    // the fold must not be incremental).
-    obligations_.emplace_back(request.need, request.literal);
+    // the occurrence log into it in stamp order (through the prefix-fold
+    // chain on the incremental path — see there for why that is safe where
+    // a single stored residual was not).
+    obligations_.push_back(Obligation{request.need, request.literal, {}});
     RuntimeMessage promise{RuntimeMessageKind::kPromise, request.literal,
                            OccurrenceStamp{}, EventLiteral(),
                            std::vector<EventLiteral>(after.begin(),
@@ -531,37 +622,59 @@ bool EventActor::TryAnswerPromiseRequest(const RuntimeMessage& request) {
 
 void EventActor::ReviewObligations() {
   if (obligations_.empty()) return;
-  // Each pass folds the *original* obligation residual by the occurrence
-  // log from scratch, in stamp order. Storing the partially residuated
-  // expression and folding only new arrivals into it would be wrong on an
-  // unordered network: residuation is order-sensitive ((x·y)/y = 0 by
-  // rule 7), so an announcement whose stamp precedes one already folded
-  // would corrupt the stored residual permanently — the same reason
-  // CurrentGuard replays the whole hold-back queue per evaluation.
-  std::vector<std::pair<const Expr*, EventLiteral>> remaining;
+  // Each pass needs the obligation residual folded by the occurrence log in
+  // stamp order. Storing a single partially residuated expression and
+  // folding only new arrivals into it would be wrong on an unordered
+  // network: residuation is order-sensitive ((x·y)/y = 0 by rule 7), so an
+  // announcement whose stamp precedes one already folded would corrupt the
+  // stored residual permanently. The prefix-fold chain is safe where that
+  // shortcut was not because it memoizes per ordered-prefix *position*:
+  // chain[k] depends only on the first k stamp-ordered entries, and an
+  // out-of-order insertion at index i truncates the chain to i+1 entries
+  // (Receive/TruncateFoldChains) before anything past the insertion point
+  // is reused — so re-evaluation folds only new arrivals while reproducing
+  // the from-scratch stamp-order fold exactly. The non-incremental path
+  // keeps the original full refold.
+  std::vector<Obligation> remaining;
   std::vector<EventLiteral> to_trigger;
-  for (auto [need, literal] : obligations_) {
-    const Expr* residual = need;
-    for (const auto& [stamp, occurred] : heard_) {
-      residual = host_->residuator()->Residuate(residual, occurred);
+  for (Obligation& ob : obligations_) {
+    const Expr* residual;
+    if (incremental_) {
+      if (ob.chain.empty()) ob.chain.push_back(ob.need);
+      while (ob.chain.size() <= heard_.size()) {
+        residual = host_->residuator()->Residuate(
+            ob.chain.back(), heard_[ob.chain.size() - 1].second);
+        ob.chain.push_back(residual);
+      }
+      residual = ob.chain[heard_.size()];
+    } else {
+      residual = ob.need;
+      for (const auto& [stamp, occurred] : heard_) {
+        residual = host_->residuator()->Residuate(residual, occurred);
+      }
     }
     if (residual->IsTop()) continue;  // some alternative materialized
     if (decided_) continue;           // our symbol is settled either way
     const Expr* without_us = PruneImpossibleLiteral(
-        host_->residuator()->arena(), residual, literal);
+        host_->residuator()->arena(), residual, ob.literal);
     bool necessary = !IsSatisfiable(host_->residuator(), without_us);
     if (necessary) {
-      to_trigger.push_back(literal);
+      to_trigger.push_back(ob.literal);
     } else {
-      remaining.emplace_back(need, literal);
+      remaining.push_back(std::move(ob));
     }
   }
   obligations_ = std::move(remaining);
+  // One pass over parked_ instead of a rescan per trigger; literals this
+  // loop itself attempts are added as they go (an attempt only ever parks
+  // its own literal).
+  std::set<EventLiteral> already_parked;
+  for (const Parked& p : parked_) already_parked.insert(p.literal);
   for (EventLiteral literal : to_trigger) {
     if (decided_) break;
-    bool already_parked = false;
-    for (const Parked& p : parked_) already_parked |= (p.literal == literal);
-    if (!already_parked) Attempt(literal, AttemptCallback());
+    if (already_parked.insert(literal).second) {
+      Attempt(literal, AttemptCallback());
+    }
   }
 }
 

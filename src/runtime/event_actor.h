@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -13,7 +14,9 @@
 #include "runtime/messages.h"
 #include "sched/scheduler.h"
 #include "spec/ast.h"
+#include "temporal/flat_eval.h"
 #include "temporal/guard.h"
+#include "temporal/reduction.h"
 
 namespace cdes {
 
@@ -50,6 +53,13 @@ class ActorHost {
 
   virtual GuardArena* guard_arena() = 0;
   virtual Residuator* residuator() = 0;
+
+  /// Shard-shared symbolic caches (see guards/context.h). Null (the
+  /// default) disables memoization: actors then re-fold guards from scratch
+  /// on every evaluation — the reference behavior the equivalence property
+  /// tests compare against.
+  virtual ReductionCache* reduction_cache() { return nullptr; }
+  virtual FlatEvaluator* flat_evaluator() { return nullptr; }
 };
 
 /// Per-actor profiling attachment, built by the owning scheduler when a
@@ -150,6 +160,17 @@ class EventActor {
     AttemptCallback done;
   };
 
+  /// A deferred trigger obligation (promise-backed, see
+  /// TryAnswerPromiseRequest): the adopted residual, the literal to trigger
+  /// when it is the only way left, and the memoized prefix-fold chain —
+  /// chain[k] = need residuated by heard_[0..k), maintained only on the
+  /// incremental path (see ReviewObligations for the order-safety argument).
+  struct Obligation {
+    const Expr* need;
+    EventLiteral literal;
+    std::vector<const Expr*> chain;
+  };
+
   const Guard* CompiledGuard(EventLiteral literal) const {
     return literal.complemented() ? negative_guard_ : positive_guard_;
   }
@@ -157,6 +178,27 @@ class EventActor {
   /// The heard_/promises_ fold of CurrentGuard over one contribution,
   /// counting visited guard nodes into `*nodes`.
   const Guard* ReduceContribution(const Guard* g, uint64_t* nodes) const;
+
+  /// The compiled guard folded by heard_[0..heard_.size()) — through the
+  /// per-polarity prefix-fold chain on the incremental path, from scratch
+  /// otherwise. Chains are safe to memoize *per ordered-prefix position*:
+  /// chain[k] depends only on the first k stamp-ordered entries, and an
+  /// out-of-order arrival inserted at index i truncates every chain to
+  /// length i+1 before any entry past the insertion point is reused.
+  const Guard* HeardFold(EventLiteral literal) const;
+
+  /// EvaluateNow through the flat evaluator when the host provides one.
+  bool Evaluate(const Guard* g) const;
+
+  /// True when `literal` is licensed right now by the flat bitmask
+  /// evaluation of its ◇-free compiled guard against the heard set —
+  /// firing then needs no symbolic reduction at all. False means "take the
+  /// reduced-guard path", not "not permitted".
+  bool FastPermitted(EventLiteral literal) const;
+
+  /// Drops memoized state invalidated by an announcement inserted at
+  /// heard_ index `idx` (folds of prefixes ≤ idx stay valid).
+  void TruncateFoldChains(size_t idx);
 
   /// Replaces ◇E nodes whose residual is guaranteed by the held ordered
   /// promises with ⊤: every linearization of the promised events that is
@@ -199,6 +241,13 @@ class EventActor {
   EventAttributes negative_attrs_;
   const obs::ActorObs* obs_;
   const GuardProfile* profile_ = nullptr;
+  /// Host capabilities resolved once at construction (virtual calls off the
+  /// hot path). Null cache_ ⇒ the from-scratch reference behavior.
+  ReductionCache* cache_ = nullptr;
+  FlatEvaluator* flat_ = nullptr;
+  /// True when cache_ is set: prefix-fold chains, the CurrentGuard version
+  /// memo, and the heard-literal dedup set are maintained.
+  bool incremental_ = false;
 
   std::optional<EventLiteral> decided_;
   /// (stamp, literal) occurrences heard, kept sorted by stamp.
@@ -213,10 +262,23 @@ class EventActor {
   std::set<EventLiteral> triggers_sent_;
   /// Literals of this symbol already promised, per requester symbol.
   std::set<std::pair<EventLiteral, SymbolId>> promises_made_;
-  /// Residuals this (triggerable) event has promised to see satisfied:
-  /// (remaining residual, literal to trigger when it is the only way).
-  std::vector<std::pair<const Expr*, EventLiteral>> obligations_;
+  /// Residuals this (triggerable) event has promised to see satisfied.
+  std::vector<Obligation> obligations_;
   bool reevaluating_ = false;
+
+  // ---- Incremental-evaluation state (maintained only when incremental_).
+  /// O(1) duplicate-announcement detection (mirror of heard_'s literals).
+  std::unordered_set<EventLiteral, EventLiteralHash> heard_literals_;
+  /// Per-polarity prefix-fold chains: chain[k] = compiled guard reduced by
+  /// heard_[0..k) in stamp order (chain[0] is the compiled guard itself).
+  mutable std::vector<const Guard*> pos_chain_;
+  mutable std::vector<const Guard*> neg_chain_;
+  /// CurrentGuard results memoized against the knowledge version: any
+  /// heard_/promises_ change bumps version_, invalidating both slots.
+  /// Indexed by literal polarity.
+  mutable const Guard* current_memo_[2] = {nullptr, nullptr};
+  mutable uint64_t current_memo_version_[2] = {0, 0};
+  uint64_t version_ = 1;
 };
 
 }  // namespace cdes

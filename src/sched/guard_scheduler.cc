@@ -72,6 +72,12 @@ void GuardScheduler::Init(const ParsedWorkflow& workflow,
     actor_obs_.parked_depth = metrics_->histogram("sched.parked_depth");
     actor_obs_.parks = metrics_->counter("sched.parks");
   }
+  if (options.symbolic_caches && options.metrics != nullptr) {
+    // Cache effectiveness counters land next to the sched.* metrics. The
+    // cache is per-context (per shard), so with many instance schedulers
+    // sharing a context and registry this re-binds the same counters.
+    ctx_->reduction_cache()->AttachMetrics(metrics_);
+  }
   Status installed = compiled != nullptr
                          ? AddInstanceCompiled(std::move(compiled), workflow)
                          : AddInstance(workflow);

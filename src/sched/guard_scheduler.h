@@ -26,6 +26,15 @@ struct GuardSchedulerOptions {
   bool auto_trigger = true;
   /// Enable the conditional-promise consensus of Example 11.
   bool enable_promises = true;
+  /// Memoized symbolic evaluation: actors use the context's shard-shared
+  /// ReductionCache (assimilation becomes a hash probe after first touch),
+  /// prefix-fold chains for the hold-back replay and trigger obligations,
+  /// and the flat compiled evaluator for EvaluateNow and the ◇-free bitmask
+  /// fast path. Off reproduces the from-scratch reference behavior —
+  /// histories are identical either way (equivalence property tests pin
+  /// this); the switch exists for those tests and for the before/after
+  /// benchmarks.
+  bool symbolic_caches = true;
   /// Estimated bytes per runtime message, for network accounting.
   size_t message_bytes = 48;
   /// Tuning for the reliable-delivery layer every protocol message rides
@@ -203,6 +212,12 @@ class GuardScheduler : public Scheduler, public ActorHost {
   bool PromisesEnabled() const override { return options_.enable_promises; }
   GuardArena* guard_arena() override { return ctx_->guards(); }
   Residuator* residuator() override { return ctx_->residuator(); }
+  ReductionCache* reduction_cache() override {
+    return options_.symbolic_caches ? ctx_->reduction_cache() : nullptr;
+  }
+  FlatEvaluator* flat_evaluator() override {
+    return options_.symbolic_caches ? ctx_->flat_evaluator() : nullptr;
+  }
 
  private:
   /// Shared constructor body: resolves metric handles and installs the

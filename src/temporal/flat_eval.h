@@ -1,0 +1,130 @@
+#ifndef CDES_TEMPORAL_FLAT_EVAL_H_
+#define CDES_TEMPORAL_FLAT_EVAL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "temporal/guard.h"
+
+namespace cdes {
+
+/// One instruction of a flattened guard program: the node kind plus either
+/// a literal (□/¬) or a span into FlatProgram::children (+/|). `node` keeps
+/// the originating interned guard node — ◇ evaluation and the CommitNow
+/// projection need it back.
+struct FlatOp {
+  GuardKind kind;
+  EventLiteral literal;
+  const Guard* node;
+  uint32_t first_child = 0;  // index into FlatProgram::children
+  uint32_t child_count = 0;
+};
+
+/// A guard DAG lowered to a flat postorder instruction array: children
+/// precede parents, shared sub-DAGs are deduplicated by interned pointer
+/// (each distinct node appears once), and the last op is the root. A single
+/// forward sweep with a value-per-op scratch evaluates the whole DAG
+/// iteratively — no recursion, no pointer chasing beyond the child index
+/// array, and shared subterms are evaluated once instead of once per
+/// reference.
+struct FlatProgram {
+  std::vector<FlatOp> ops;
+  std::vector<uint32_t> children;  // op indices, grouped per +/| node
+  bool has_diamond = false;
+
+  /// Lowers `g` (dedup by pointer, postorder).
+  static FlatProgram Lower(const Guard* g);
+
+  /// The optimistic runtime evaluation (≡ EventActor::EvaluateNow): ¬ℓ is
+  /// true while ℓ is unheard, □/◇ require positive knowledge. `scratch` is
+  /// caller-owned reusable storage.
+  bool EvaluateNow(std::vector<unsigned char>* scratch) const;
+
+  /// Evaluates against heard-set membership: □ℓ ↦ heard(ℓ), ¬ℓ ↦ ¬heard(ℓ).
+  /// For a ◇-free guard this equals EvaluateNow of the guard folded by any
+  /// heard announcements and promises (promises only ever decide ◇-parts
+  /// and literals' complements, neither of which changes a □/¬ outcome
+  /// under the optimistic evaluation) — the runtime's decided-literal
+  /// bitmask fast path. Must not be used when has_diamond.
+  template <typename HeardFn>
+  bool EvaluateHeard(HeardFn&& heard,
+                     std::vector<unsigned char>* scratch) const {
+    std::vector<unsigned char>& v = *scratch;
+    if (v.size() < ops.size()) v.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const FlatOp& op = ops[i];
+      switch (op.kind) {
+        case GuardKind::kTrue:
+          v[i] = 1;
+          break;
+        case GuardKind::kFalse:
+        case GuardKind::kDiamond:
+          v[i] = 0;
+          break;
+        case GuardKind::kBox:
+          v[i] = heard(op.literal) ? 1 : 0;
+          break;
+        case GuardKind::kNeg:
+          v[i] = heard(op.literal) ? 0 : 1;
+          break;
+        case GuardKind::kAnd: {
+          unsigned char r = 1;
+          for (uint32_t c = 0; c < op.child_count; ++c) {
+            r &= v[children[op.first_child + c]];
+          }
+          v[i] = r;
+          break;
+        }
+        case GuardKind::kOr: {
+          unsigned char r = 0;
+          for (uint32_t c = 0; c < op.child_count; ++c) {
+            r |= v[children[op.first_child + c]];
+          }
+          v[i] = r;
+          break;
+        }
+      }
+    }
+    return v[ops.size() - 1] != 0;
+  }
+};
+
+/// Compiles interned guard nodes to FlatPrograms and memoizes the two pure
+/// per-node projections the hot paths keep recomputing: the optimistic
+/// EvaluateNow boolean and the CommitNow guard. Everything is keyed by
+/// interned pointer (pointer equality is structural equality), so each
+/// projection is computed once per distinct guard shape per shard, ever.
+/// Thread-confined like the arenas it indexes (one per WorkflowContext).
+class FlatEvaluator {
+ public:
+  /// The flat program of `g`, lowered on first touch. The reference stays
+  /// valid for the evaluator's lifetime (programs are heap-pinned).
+  const FlatProgram& ProgramFor(const Guard* g);
+
+  /// Memoized optimistic evaluation (≡ the recursive
+  /// EventActor::EvaluateNow — a pure function of the node).
+  bool EvaluateNow(const Guard* g);
+
+  /// Memoized CommitNow projection (≡ cdes::CommitNow), computed by one
+  /// postorder sweep over the flat program. `arena` must be the arena `g`
+  /// lives in.
+  const Guard* Commit(GuardArena* arena, const Guard* g);
+
+  /// Scratch buffer for the Evaluate* entry points (kept here so actor hot
+  /// paths allocate nothing after warm-up).
+  std::vector<unsigned char>* scratch() { return &scratch_; }
+
+  size_t program_count() const { return programs_.size(); }
+
+ private:
+  std::unordered_map<const Guard*, std::unique_ptr<FlatProgram>> programs_;
+  std::unordered_map<const Guard*, bool> now_memo_;
+  std::unordered_map<const Guard*, const Guard*> commit_memo_;
+  std::vector<unsigned char> scratch_;
+  std::vector<const Guard*> guard_scratch_;
+};
+
+}  // namespace cdes
+
+#endif  // CDES_TEMPORAL_FLAT_EVAL_H_

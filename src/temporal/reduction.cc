@@ -81,10 +81,77 @@ const Guard* ReduceOnPromised(GuardArena* arena, const Guard* g,
   return g;
 }
 
+/// The memoizing mirror of the two walks above. Composite nodes (◇/+/|)
+/// probe the cache before reducing and store after; □/¬/constants are a
+/// couple of compares — cheaper than the probe — and are computed inline.
+/// Results are bit-identical to the plain walk: both intern through the
+/// same arenas and the cache only ever stores the walk's own outputs.
+template <bool kPromised>
+const Guard* ReduceCached(GuardArena* arena, Residuator* residuator,
+                          const Guard* g, EventLiteral l, uint64_t ann,
+                          ReductionCache* cache) {
+  switch (g->kind()) {
+    case GuardKind::kFalse:
+    case GuardKind::kTrue:
+      return g;
+    case GuardKind::kBox:
+      if constexpr (kPromised) {
+        if (g->literal() == l.Complemented()) return arena->False();
+        return g;
+      } else {
+        if (g->literal() == l) return arena->True();
+        if (g->literal() == l.Complemented()) return arena->False();
+        return g;
+      }
+    case GuardKind::kNeg:
+      if constexpr (kPromised) {
+        if (g->literal() == l.Complemented()) return arena->True();
+        return g;
+      } else {
+        if (g->literal() == l) return arena->False();
+        if (g->literal() == l.Complemented()) return arena->True();
+        return g;
+      }
+    case GuardKind::kDiamond:
+    case GuardKind::kAnd:
+    case GuardKind::kOr:
+      break;
+  }
+  if (const Guard* memo = cache->Find(g, ann)) return memo;
+  const Guard* result;
+  if (g->kind() == GuardKind::kDiamond) {
+    if constexpr (kPromised) {
+      result = ReduceOnPromised<false>(arena, g, l, nullptr);
+    } else {
+      result = arena->Diamond(residuator->Residuate(g->expr(), l));
+    }
+  } else {
+    std::vector<const Guard*> kids;
+    kids.reserve(g->children().size());
+    for (const Guard* c : g->children()) {
+      kids.push_back(ReduceCached<kPromised>(arena, residuator, c, l, ann,
+                                             cache));
+    }
+    result = g->kind() == GuardKind::kAnd ? arena->And(kids) : arena->Or(kids);
+  }
+  cache->Store(g, ann, result);
+  return result;
+}
+
 }  // namespace
 
 const Guard* ReduceGuard(GuardArena* arena, Residuator* residuator,
-                         const Guard* g, const Announcement& announcement) {
+                         const Guard* g, const Announcement& announcement,
+                         ReductionCache* cache) {
+  if (cache != nullptr) {
+    uint64_t ann = ReductionCache::KeyOf(announcement);
+    if (announcement.kind == AnnouncementKind::kOccurred) {
+      return ReduceCached<false>(arena, residuator, g, announcement.literal,
+                                 ann, cache);
+    }
+    return ReduceCached<true>(arena, residuator, g, announcement.literal, ann,
+                              cache);
+  }
   if (announcement.kind == AnnouncementKind::kOccurred) {
     return ReduceOnOccurred<false>(arena, residuator, g, announcement.literal,
                                    nullptr);

@@ -1,7 +1,10 @@
 #ifndef CDES_TEMPORAL_REDUCTION_H_
 #define CDES_TEMPORAL_REDUCTION_H_
 
+#include <unordered_map>
+
 #include "algebra/residuation.h"
+#include "obs/metrics.h"
 #include "temporal/guard.h"
 
 namespace cdes {
@@ -28,11 +31,89 @@ struct Announcement {
 /// while □ℓ and ¬ℓ are deliberately unaffected — a promised event has not
 /// *occurred* yet.
 ///
+/// Memo of guard reductions keyed on (interned guard node, announcement),
+/// living alongside a GuardArena and sharing its lifetime and thread
+/// confinement (one per WorkflowContext, hence one per engine shard — no
+/// locks). Guards are hash-consed, so the key is one pointer plus the
+/// announcement's packed literal index; after the first touch of a
+/// (node, announcement) pair, ReduceGuard is a single hash probe. The memo
+/// is consulted at composite nodes (◇/+/|) only: □, ¬, and constants reduce
+/// in a couple of compares, cheaper than the probe itself.
+///
+/// Reduction is a pure function of (node, announcement) over arenas that
+/// only ever grow, so entries never invalidate; every workflow instance
+/// resident on a shard shares one cache against the shard's compiled guard
+/// table, which is what makes assimilation cost amortize across thousands
+/// of instances.
+class ReductionCache {
+ public:
+  /// Packs an announcement into the memo key: literal index ⊕ kind bit.
+  static uint64_t KeyOf(const Announcement& a) {
+    return (static_cast<uint64_t>(a.literal.index()) << 1) |
+           (a.kind == AnnouncementKind::kPromised ? 1u : 0u);
+  }
+
+  const Guard* Find(const Guard* g, uint64_t ann) {
+    auto it = map_.find(Key{g, ann});
+    if (it == map_.end()) {
+      ++misses_;
+      if (miss_counter_ != nullptr) miss_counter_->Increment();
+      return nullptr;
+    }
+    ++hits_;
+    if (hit_counter_ != nullptr) hit_counter_->Increment();
+    return it->second;
+  }
+
+  void Store(const Guard* g, uint64_t ann, const Guard* reduced) {
+    map_.emplace(Key{g, ann}, reduced);
+  }
+
+  /// Mirrors hits/misses into `guards.reduction_cache_{hits,misses}`
+  /// counters of `registry` (get-or-create; re-attach is idempotent for a
+  /// fixed registry). Counters start from the registry's current values —
+  /// raw hits()/misses() remain the cache-lifetime truth.
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    hit_counter_ = registry->counter("guards.reduction_cache_hits");
+    miss_counter_ = registry->counter("guards.reduction_cache_misses");
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Key {
+    const Guard* g;
+    uint64_t ann;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = std::hash<const void*>()(k.g);
+      h ^= std::hash<uint64_t>()(k.ann) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      return h;
+    }
+  };
+
+  std::unordered_map<Key, const Guard*, KeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+};
+
 /// IMPORTANT: ◇E reduction by residuation is order-sensitive; occurrence
 /// announcements must be assimilated in occurrence order (the runtime's
 /// hold-back queue guarantees this — see runtime/event_actor.h).
+///
+/// With `cache` non-null the reduction walk memoizes composite nodes in it;
+/// null reproduces the plain walk (results are identical — the cache stores
+/// only values the walk itself computed on the same arenas).
 const Guard* ReduceGuard(GuardArena* arena, Residuator* residuator,
-                         const Guard* g, const Announcement& announcement);
+                         const Guard* g, const Announcement& announcement,
+                         ReductionCache* cache = nullptr);
 
 /// ReduceGuard that additionally accumulates into `*nodes` the number of
 /// guard nodes visited by the reduction walk — the profiler's

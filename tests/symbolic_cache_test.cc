@@ -1,0 +1,317 @@
+// Equivalence properties of the symbolic caches (PR 9): flat compiled
+// evaluation, the shard-shared ReductionCache, the incremental prefix-fold
+// replay, and the model checker's cached mode are *optimizations* — every
+// observable (evaluation verdicts, reduced-guard identities, scheduler
+// histories, checker findings) must be identical with them on and off.
+// Everything here runs over hundreds of random specs so the equivalences
+// are exercised across guard shapes no hand-written case would cover.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algebra/generator.h"
+#include "algebra/trace.h"
+#include "analysis/model_checker.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "runtime/event_actor.h"
+#include "sched/guard_scheduler.h"
+#include "spec/parser.h"
+#include "temporal/flat_eval.h"
+#include "temporal/reduction.h"
+
+namespace cdes {
+namespace {
+
+using analysis::CheckResult;
+using analysis::CheckWorkflow;
+using analysis::ModelCheckOptions;
+using analysis::Rule;
+
+std::vector<const Expr*> RandomDeps(WorkflowContext* ctx, Rng* rng,
+                                    size_t symbols, size_t count) {
+  RandomExprOptions options;
+  options.symbol_count = symbols;
+  options.max_depth = 3;
+  options.max_arity = 3;
+  options.constant_probability = 0.0;
+  std::vector<const Expr*> out;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(GenerateRandomExpr(ctx->exprs(), rng, options));
+  }
+  return out;
+}
+
+// Compiles `count` random dependencies over `symbols` fresh symbols into
+// `ctx`; returns the compiled workflow (possibly impossible — caller skips).
+CompiledWorkflow RandomCompiled(WorkflowContext* ctx, uint64_t seed,
+                                size_t symbols, size_t count) {
+  for (size_t i = 0; i < symbols; ++i) {
+    ctx->alphabet()->Intern(StrCat("e", i));
+  }
+  Rng rng(seed);
+  WorkflowSpec spec;
+  size_t d = 0;
+  for (const Expr* expr : RandomDeps(ctx, &rng, symbols, count)) {
+    spec.Add(StrCat("d", d++), expr);
+  }
+  return CompileWorkflow(ctx, spec);
+}
+
+// ------------------------------------------------ flat ≡ recursive walks
+
+// The flat postorder programs must agree with the recursive EvaluateNow and
+// CommitNow on every guard the compiler produces *and* on every reduction
+// of those guards along occurrence traces — the states the runtime actually
+// evaluates.
+TEST(SymbolicCacheTest, FlatEvaluationMatchesRecursiveWalks) {
+  constexpr size_t kSymbols = 4;
+  size_t compared = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    WorkflowContext ctx;
+    CompiledWorkflow compiled = RandomCompiled(&ctx, seed, kSymbols, 2);
+    if (compiled.impossible()) continue;
+    FlatEvaluator flat;
+    Rng rng(seed * 31 + 5);
+    std::vector<SymbolId> symbols(compiled.symbols().begin(),
+                                  compiled.symbols().end());
+    for (SymbolId symbol : symbols) {
+      for (bool complemented : {false, true}) {
+        const Guard* g =
+            compiled.GuardFor(EventLiteral(symbol, complemented));
+        // The compiled guard plus a random reduction chain off it.
+        for (int step = 0; step < 1 + static_cast<int>(kSymbols); ++step) {
+          ASSERT_EQ(flat.EvaluateNow(g), EventActor::EvaluateNow(g))
+              << "seed " << seed << " guard "
+              << GuardToString(g, *ctx.alphabet());
+          ASSERT_EQ(flat.Commit(ctx.guards(), g), CommitNow(ctx.guards(), g))
+              << "seed " << seed << " guard "
+              << GuardToString(g, *ctx.alphabet());
+          ++compared;
+          SymbolId next = symbols[rng.Next() % symbols.size()];
+          EventLiteral lit(next, rng.Next() % 2 == 1);
+          g = ReduceGuard(ctx.guards(), ctx.residuator(), g,
+                          {AnnouncementKind::kOccurred, lit});
+        }
+      }
+    }
+  }
+  EXPECT_GT(compared, 2000u);
+}
+
+// ---------------------------------------- cached ≡ uncached ReduceGuard
+
+// Reduction through the shard-shared cache must return the *same interned
+// node* as the plain recursive reduction, for occurrences and promises, on
+// first sight (miss path) and on every repeat (hit path).
+TEST(SymbolicCacheTest, CachedReductionIsPointerIdentical) {
+  constexpr size_t kSymbols = 4;
+  size_t compared = 0;
+  uint64_t traffic = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    WorkflowContext ctx;
+    CompiledWorkflow compiled = RandomCompiled(&ctx, seed * 613 + 3,
+                                               kSymbols, 2);
+    if (compiled.impossible()) continue;
+    ReductionCache cache;
+    Rng rng(seed * 17 + 1);
+    std::vector<SymbolId> symbols(compiled.symbols().begin(),
+                                  compiled.symbols().end());
+    for (SymbolId symbol : symbols) {
+      for (bool complemented : {false, true}) {
+        const Guard* g =
+            compiled.GuardFor(EventLiteral(symbol, complemented));
+        for (int step = 0; step < 2 * static_cast<int>(kSymbols); ++step) {
+          SymbolId next = symbols[rng.Next() % symbols.size()];
+          EventLiteral lit(next, rng.Next() % 2 == 1);
+          AnnouncementKind kind = rng.Next() % 3 == 0
+                                      ? AnnouncementKind::kPromised
+                                      : AnnouncementKind::kOccurred;
+          Announcement ann{kind, lit};
+          const Guard* plain =
+              ReduceGuard(ctx.guards(), ctx.residuator(), g, ann);
+          // Twice through the cache: the first call exercises the miss
+          // path, the second the hit path.
+          ASSERT_EQ(ReduceGuard(ctx.guards(), ctx.residuator(), g, ann,
+                                &cache),
+                    plain)
+              << "seed " << seed;
+          ASSERT_EQ(ReduceGuard(ctx.guards(), ctx.residuator(), g, ann,
+                                &cache),
+                    plain)
+              << "seed " << seed;
+          ++compared;
+          if (kind == AnnouncementKind::kOccurred) g = plain;
+        }
+      }
+    }
+    traffic += cache.hits() + cache.misses();
+  }
+  EXPECT_GT(compared, 2000u);
+  // Only composite (◇/∧/∨) nodes are memoized — atoms are cheaper than the
+  // probe — so not every seed produces traffic, but the corpus must.
+  EXPECT_GT(traffic, 0u);
+}
+
+// ------------------------------- scheduler histories: memoized ≡ scratch
+
+// The full runtime path — announcement assimilation, hold-back replay via
+// prefix folds, flat evaluation, the ◇-free fast path — must produce
+// *bitwise-identical* histories with the caches on and off, for the same
+// attempt plan on the same deterministic network.
+TEST(SymbolicCacheTest, SchedulerHistoriesAreBitwiseIdentical) {
+  constexpr size_t kSymbols = 4;
+  size_t driven = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    WorkflowContext gen_ctx;
+    for (size_t i = 0; i < kSymbols; ++i) {
+      gen_ctx.alphabet()->Intern(StrCat("e", i));
+    }
+    Rng rng(seed * 131 + 7);
+    std::string text = "workflow rnd {\n  agent a @ site(0);\n";
+    for (size_t i = 0; i < kSymbols; ++i) {
+      text += StrCat("  event e", i, " agent(a);\n");
+    }
+    size_t d = 0;
+    for (const Expr* expr : RandomDeps(&gen_ctx, &rng, kSymbols, 2)) {
+      text += StrCat("  dep d", d++, ": ",
+                     ExprToString(expr, *gen_ctx.alphabet()), ";\n");
+    }
+    text += "}\n";
+
+    // The attempt plan is drawn once, then replayed against both modes.
+    std::vector<std::string> plan;
+    for (size_t i = 0; i < kSymbols; ++i) {
+      if (rng.Next() % 2 == 0) plan.push_back(StrCat("e", i));
+    }
+
+    auto drive = [&](bool symbolic_caches, Trace* history_out,
+                     bool* consistent_out) -> bool {
+      WorkflowContext ctx;
+      auto parsed = ParseWorkflow(&ctx, text);
+      if (!parsed.ok()) return false;
+      Simulator sim;
+      NetworkOptions nopts;
+      nopts.base_latency = 50;
+      nopts.seed = seed;
+      Network network(&sim, 4, nopts);
+      GuardSchedulerOptions options;
+      options.symbolic_caches = symbolic_caches;
+      GuardScheduler sched(&ctx, parsed.value(), &network, options);
+      for (const std::string& name : plan) {
+        auto lit = ctx.alphabet()->ParseLiteral(name);
+        if (!lit.ok()) return false;
+        sched.Attempt(lit.value(), AttemptCallback());
+        sim.Run();
+      }
+      for (int round = 0; round < 8 && !sched.Undecided().empty(); ++round) {
+        sched.Close();
+        sim.Run();
+      }
+      *history_out = sched.history();
+      *consistent_out = sched.HistoryConsistent(true);
+      return true;
+    };
+
+    Trace memoized, scratch;
+    bool memoized_consistent = false, scratch_consistent = false;
+    if (!drive(true, &memoized, &memoized_consistent)) continue;
+    ASSERT_TRUE(drive(false, &scratch, &scratch_consistent)) << seed;
+    ASSERT_EQ(memoized, scratch)
+        << "seed " << seed << "\nmemoized: "
+        << TraceToString(memoized, *gen_ctx.alphabet()) << "\nscratch:  "
+        << TraceToString(scratch, *gen_ctx.alphabet()) << "\n" << text;
+    EXPECT_EQ(memoized_consistent, scratch_consistent) << seed;
+    ++driven;
+  }
+  EXPECT_GT(driven, 100u);
+}
+
+// ------------------------------------ model checker: cached ≡ uncached
+
+// The exhaustive checker must report identical findings *and* identical
+// exploration stats (the caches change per-state cost, never the canonical
+// state graph) with symbolic_caches on and off.
+TEST(SymbolicCacheTest, ModelCheckerFindingsAreIdentical) {
+  constexpr size_t kSymbols = 4;
+  size_t checked = 0;
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    WorkflowContext ctx;
+    for (size_t i = 0; i < kSymbols; ++i) {
+      ctx.alphabet()->Intern(StrCat("e", i));
+    }
+    Rng rng(seed * 977 + 11);
+    ParsedWorkflow w;
+    w.name = "rnd";
+    size_t d = 0;
+    for (const Expr* expr : RandomDeps(&ctx, &rng, kSymbols, 2)) {
+      w.spec.Add(StrCat("d", d++), expr);
+    }
+    if (CompileWorkflow(&ctx, w.spec).impossible()) continue;
+    ModelCheckOptions cached;
+    cached.symbolic_caches = true;
+    ModelCheckOptions uncached;
+    uncached.symbolic_caches = false;
+    CheckResult with = CheckWorkflow(&ctx, w, cached);
+    CheckResult without = CheckWorkflow(&ctx, w, uncached);
+    ASSERT_FALSE(with.stats.bounded) << seed;
+    ASSERT_FALSE(without.stats.bounded) << seed;
+    ASSERT_EQ(with.diagnostics.size(), without.diagnostics.size()) << seed;
+    for (size_t i = 0; i < with.diagnostics.size(); ++i) {
+      EXPECT_EQ(with.diagnostics[i].rule, without.diagnostics[i].rule)
+          << seed;
+      EXPECT_EQ(with.diagnostics[i].message, without.diagnostics[i].message)
+          << seed;
+    }
+    EXPECT_EQ(with.stats.states_explored, without.stats.states_explored)
+        << seed;
+    EXPECT_EQ(with.stats.transitions, without.stats.transitions) << seed;
+    EXPECT_EQ(with.stats.maximal_states, without.stats.maximal_states)
+        << seed;
+    EXPECT_EQ(with.stats.accepted_states, without.stats.accepted_states)
+        << seed;
+    EXPECT_EQ(with.stats.deadlock_states, without.stats.deadlock_states)
+        << seed;
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+// ----------------------------------------------------- counter plumbing
+
+// The hit/miss counters behind the observability surface (GuardProfiler
+// TopK reports, cdes-top, BENCH json) must actually move.
+TEST(SymbolicCacheTest, CacheCountersReportTraffic) {
+  WorkflowContext ctx;
+  CompiledWorkflow compiled = RandomCompiled(&ctx, 1, 4, 2);
+  for (uint64_t seed = 2; compiled.impossible() && seed <= 50; ++seed) {
+    compiled = RandomCompiled(&ctx, seed, 4, 2);
+  }
+  ASSERT_FALSE(compiled.impossible());
+  ReductionCache cache;
+  obs::MetricsRegistry metrics;
+  cache.AttachMetrics(&metrics);
+  const Guard* g = compiled.GuardFor(
+      EventLiteral::Positive(*compiled.symbols().begin()));
+  Announcement ann{AnnouncementKind::kOccurred,
+                   EventLiteral::Positive(*compiled.symbols().rbegin())};
+  uint64_t before = ctx.residuator()->cache_hits() +
+                    ctx.residuator()->cache_misses();
+  ReduceGuard(ctx.guards(), ctx.residuator(), g, ann, &cache);
+  ReduceGuard(ctx.guards(), ctx.residuator(), g, ann, &cache);
+  if (cache.hits() + cache.misses() > 0) {
+    EXPECT_EQ(metrics.counter("guards.reduction_cache_hits")->value(),
+              cache.hits());
+    EXPECT_EQ(metrics.counter("guards.reduction_cache_misses")->value(),
+              cache.misses());
+  }
+  // Any ◇-bearing guard reduction residuates, so the residuator tallies
+  // grow too (≥, not ==: the compile itself may have residuated already).
+  EXPECT_GE(ctx.residuator()->cache_hits() + ctx.residuator()->cache_misses(),
+            before);
+}
+
+}  // namespace
+}  // namespace cdes

@@ -125,6 +125,35 @@ int Render(const std::string& line, bool clear) {
     RenderHistogram(*histograms, "engine.admission_wait_us", &out);
   }
 
+  const JsonValue* caches = snap.Find("caches");
+  if (caches != nullptr && caches->kind() == JsonValue::Kind::kObject) {
+    auto pair = [&caches](const char* hits_key, const char* misses_key,
+                          uint64_t* hits, uint64_t* total) {
+      *hits = static_cast<uint64_t>(NumberOr(caches->Find(hits_key)));
+      *total = *hits + static_cast<uint64_t>(NumberOr(caches->Find(misses_key)));
+    };
+    uint64_t red_hits = 0, red_total = 0, res_hits = 0, res_total = 0;
+    pair("reduction_hits", "reduction_misses", &red_hits, &red_total);
+    pair("residuation_hits", "residuation_misses", &res_hits, &res_total);
+    if (red_total + res_total > 0) {
+      auto pct = [](uint64_t hits, uint64_t total) {
+        return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(total);
+      };
+      char row[160];
+      std::snprintf(row, sizeof(row),
+                    "\n  symbolic caches: reduction %.1f%% hit "
+                    "(%llu/%llu)  residuation %.1f%% hit (%llu/%llu)\n",
+                    pct(red_hits, red_total),
+                    static_cast<unsigned long long>(red_hits),
+                    static_cast<unsigned long long>(red_total),
+                    pct(res_hits, res_total),
+                    static_cast<unsigned long long>(res_hits),
+                    static_cast<unsigned long long>(res_total));
+      out += row;
+    }
+  }
+
   const JsonValue* hot = snap.Find("hot_guards");
   if (hot != nullptr && hot->kind() == JsonValue::Kind::kArray &&
       !hot->array().empty()) {
